@@ -1,0 +1,30 @@
+"""Bench: ablation of the IDELAY calibration.
+
+DESIGN.md's ablation: the calibrated sensor must deliver a solid
+victim-induced swing in every region, while the uncalibrated sensor is
+unreliable (placements whose raw phase happens to saturate sense almost
+nothing) — the paper's robustness-via-calibration claim.
+"""
+
+from conftest import full_scale, run_once
+
+from repro.experiments import ablation_calib
+
+
+def test_ablation_calibration(benchmark):
+    n_readouts = 1000 if full_scale() else 400
+
+    result = run_once(benchmark, ablation_calib.run, n_readouts=n_readouts)
+
+    for p in result.points:
+        benchmark.extra_info[f"R{p.region_index}_calibrated"] = round(
+            p.swing_calibrated, 1
+        )
+        benchmark.extra_info[f"R{p.region_index}_uncalibrated"] = round(
+            p.swing_uncalibrated, 1
+        )
+
+    # Calibration guarantees sensitivity everywhere ...
+    assert result.worst_calibrated_swing > 5.0
+    # ... whereas at least one uncalibrated placement is near-dead.
+    assert result.worst_uncalibrated_swing < 1.0

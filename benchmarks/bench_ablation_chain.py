@@ -1,0 +1,29 @@
+"""Bench: ablation over the DSP chain length (the paper's n = 3 pick).
+
+DESIGN.md's ablation: sensitivity/swing vs. resource cost as the
+cascade grows.  Expected shape: the victim-induced swing rises with the
+chain length and saturates — n = 3 already captures most of it at a
+third of the n = 6 resource cost.
+"""
+
+from conftest import full_scale, run_once
+
+from repro.experiments import ablation_chain
+
+
+def test_ablation_chain_length(benchmark):
+    lengths = (1, 2, 3, 4, 5, 6) if full_scale() else (1, 3, 6)
+    n_readouts = 1000 if full_scale() else 400
+
+    result = run_once(
+        benchmark, ablation_chain.run, chain_lengths=lengths, n_readouts=n_readouts
+    )
+
+    swings = {p.n_blocks: p.activity_swing for p in result.points}
+    for n, swing in swings.items():
+        benchmark.extra_info[f"n{n}_swing"] = round(swing, 1)
+
+    # Longer chains sense more; n=3 captures the bulk of the n-max swing.
+    assert swings[min(lengths)] < swings[max(lengths)] * 1.2
+    assert swings[3] > 0.5 * max(swings.values())
+    assert all(p.calibrated for p in result.points)

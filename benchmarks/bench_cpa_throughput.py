@@ -1,0 +1,44 @@
+"""Bench: raw CPA engine throughput (traces/second accumulated).
+
+Not a paper figure — a performance benchmark of the numpy CPA engine
+that stands in for the paper's GPU CPA tool [8], useful for tracking
+regressions in the accumulator hot path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.cpa import CPAAttack, hypothesis_table
+
+
+@pytest.fixture(scope="module")
+def trace_batch():
+    rng = np.random.default_rng(0)
+    n, samples = 4000, 45
+    traces = rng.integers(0, 48, size=(n, samples)).astype(np.int16)
+    cts = rng.integers(0, 256, size=(n, 16), dtype=np.uint8)
+    hypothesis_table()  # build outside the timed region
+    return traces, cts
+
+
+def test_cpa_accumulate_throughput(benchmark, trace_batch):
+    traces, cts = trace_batch
+
+    def accumulate():
+        attack = CPAAttack(traces.shape[1])
+        attack.add_traces(traces, cts)
+        return attack
+
+    attack = benchmark(accumulate)
+    benchmark.extra_info["traces_per_round"] = traces.shape[0]
+    assert attack.n_traces == traces.shape[0]
+
+
+def test_cpa_correlation_evaluation(benchmark, trace_batch):
+    traces, cts = trace_batch
+    attack = CPAAttack(traces.shape[1])
+    attack.add_traces(traces, cts)
+
+    rho = benchmark(attack.correlations)
+    assert rho.shape == (16, 256, traces.shape[1])
+    assert np.all(np.abs(rho) <= 1.0 + 1e-9)

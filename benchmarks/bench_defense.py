@@ -1,0 +1,37 @@
+"""Bench: the Section V defense study.
+
+Bitstream scrutiny: today's rules reject RO and TDC but accept
+LeakyDSP; the paper's proposed DSP-aware rules reject LeakyDSP too.
+Active fence: defender noise inflates the attacker's trace budget.
+"""
+
+from conftest import full_scale, run_once
+
+from repro.experiments import defense_study
+
+
+def test_defense_study(benchmark):
+    fence_sizes = (500, 2000, 8000) if full_scale() else (500, 2000)
+
+    result = run_once(benchmark, defense_study.run, fence_sizes=fence_sizes)
+
+    for o in result.checker:
+        ruleset = "dsp" if o.dsp_rules else "today"
+        benchmark.extra_info[f"{o.design}_{ruleset}"] = (
+            "accept" if o.accepted else ",".join(o.rules_fired)
+        )
+    for f in result.fence:
+        benchmark.extra_info[f"fence_{f.n_instances}_inflation"] = round(
+            f.trace_inflation, 2
+        )
+
+    # The paper's evasion claim, verbatim.
+    assert not result.outcome("RO", dsp_rules=False).accepted
+    assert not result.outcome("TDC", dsp_rules=False).accepted
+    assert result.outcome("LeakyDSP", dsp_rules=False).accepted
+    assert not result.outcome("LeakyDSP", dsp_rules=True).accepted
+
+    # Bigger fences cost the attacker more traces.
+    inflations = [f.trace_inflation for f in result.fence]
+    assert inflations == sorted(inflations)
+    assert inflations[-1] > 2.0

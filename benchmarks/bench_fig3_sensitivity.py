@@ -1,0 +1,29 @@
+"""Bench: regenerate Fig. 3 (sensitivity under victim activities).
+
+Paper values: LeakyDSP Pearson -0.974 / coefficient -3.45 per 1k
+instances; TDC -0.996 / -1.09.
+"""
+
+from conftest import full_scale, run_once
+
+from repro.experiments import fig3_sensitivity
+
+
+def test_fig3_sensitivity(benchmark):
+    n_readouts = 2000 if full_scale() else 500
+
+    result = run_once(benchmark, fig3_sensitivity.run, n_readouts=n_readouts)
+
+    for name, curve in result.curves.items():
+        benchmark.extra_info[f"{name}_pearson_r"] = round(curve.pearson_r, 3)
+        benchmark.extra_info[f"{name}_coefficient_per_1k"] = round(
+            curve.regression_coefficient, 2
+        )
+    # Shape assertions: strong negative linearity for both sensors, and
+    # LeakyDSP's finer per-activity granularity (paper factor ~3.2).
+    dsp = result.curves["LeakyDSP"]
+    tdc = result.curves["TDC"]
+    assert dsp.pearson_r < -0.93
+    assert tdc.pearson_r < -0.98
+    ratio = dsp.regression_coefficient / tdc.regression_coefficient
+    assert 1.8 < ratio < 5.0

@@ -1,0 +1,31 @@
+"""Bench: regenerate Fig. 4 (sensitivity under different placements).
+
+Paper shape: the voltage fluctuation is sensed in all six regions,
+region 2 is best, regions 5-6 (farthest) are worst but still sensitive.
+"""
+
+from conftest import full_scale, run_once
+
+from repro.experiments import fig4_placement
+
+
+def test_fig4_placement(benchmark):
+    n_readouts = 2000 if full_scale() else 400
+    include_tdc = full_scale()
+
+    result = run_once(
+        benchmark,
+        fig4_placement.run,
+        n_readouts=n_readouts,
+        include_tdc=include_tdc,
+    )
+
+    points = result.points["LeakyDSP"]
+    for p in points:
+        benchmark.extra_info[f"region_{p.region_index}_delta"] = round(p.delta, 1)
+
+    # Sensed everywhere; best in region 2; far regions (5, 6) weakest.
+    assert all(p.delta > 3.0 for p in points)
+    assert result.best_region("LeakyDSP") == 2
+    deltas = {p.region_index: p.delta for p in points}
+    assert max(deltas[5], deltas[6]) < deltas[2]

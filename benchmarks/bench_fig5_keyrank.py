@@ -1,0 +1,40 @@
+"""Bench: regenerate Fig. 5 (key-rank estimation per placement).
+
+Paper shape: rank bounds fall with trace count at placement-dependent
+speed; the best placement's bounds collapse first.
+"""
+
+from conftest import full_scale, run_once
+
+from repro.experiments import common, fig5_keyrank
+
+
+def test_fig5_keyrank(benchmark):
+    if full_scale():
+        placements = common.FIG5_PLACEMENTS
+        n_traces, step = 60_000, 2_500
+    else:
+        placements = ("P6", "P2")
+        n_traces, step = 30_000, 5_000
+
+    result = run_once(
+        benchmark,
+        fig5_keyrank.run,
+        placements=placements,
+        n_traces=n_traces,
+        step=step,
+        rating_at=min(20_000, n_traces),
+    )
+
+    for name in placements:
+        n, lo, hi = result.series(name)
+        benchmark.extra_info[f"{name}_final_log2_upper"] = round(float(hi[-1]), 1)
+
+    # Ranks decrease overall and the best placement (P6) ends lowest.
+    finals = {}
+    for name in placements:
+        n, lo, hi = result.series(name)
+        assert hi[0] >= hi[-1], f"{name}: rank did not decrease"
+        assert (lo <= hi).all()
+        finals[name] = hi[-1]
+    assert finals["P6"] == min(finals.values())

@@ -1,0 +1,41 @@
+"""Bench: regenerate Fig. 6 (impact of the AES clock frequency).
+
+Paper shape: key-extraction efficiency decreases as the victim's clock
+rises; at 100 MHz the default 60 k-trace campaign fails and an extended
+campaign (78 k total) recovers the key.
+"""
+
+from conftest import full_scale, run_once
+
+from repro.experiments import fig6_frequency
+
+
+def test_fig6_frequency(benchmark):
+    if full_scale():
+        frequencies = fig6_frequency.common.FIG6_FREQUENCIES
+        n_traces, extension, step = 60_000, 20_000, 2_500
+    else:
+        frequencies = (20e6, 100e6)
+        n_traces, extension, step = 40_000, 40_000, 5_000
+
+    result = run_once(
+        benchmark,
+        fig6_frequency.run,
+        frequencies=frequencies,
+        n_traces=n_traces,
+        extension=extension,
+        step=step,
+    )
+
+    for p in result.points:
+        label = f"{p.frequency_hz/1e6:.0f}MHz"
+        benchmark.extra_info[label] = p.traces_to_break or f">{p.n_collected}"
+
+    # The lowest frequency must break, and must need no more traces
+    # than the highest frequency (paper: 20 MHz easiest, 100 MHz needs
+    # the extended campaign).
+    lowest = result.points[0]
+    highest = result.points[-1]
+    assert lowest.traces_to_break is not None
+    if highest.traces_to_break is not None:
+        assert lowest.traces_to_break <= highest.traces_to_break

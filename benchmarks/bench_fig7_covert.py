@@ -1,0 +1,44 @@
+"""Bench: regenerate Fig. 7 (covert-channel BER/TR vs. bit time).
+
+Paper values: BER below 1% above 3.5 ms, rising under 3 ms; the
+recommended 4 ms point gives BER 0.24% and TR 247.94 b/s.
+"""
+
+from conftest import full_scale, run_once
+
+from repro.experiments import fig7_covert
+
+
+def test_fig7_covert(benchmark):
+    if full_scale():
+        bit_times = fig7_covert.BIT_TIMES
+        payload_bits, n_runs = 10_000, 10
+    else:
+        bit_times = (2e-3, 3e-3, 4e-3, 5e-3, 7.5e-3)
+        payload_bits, n_runs = 4_000, 3
+
+    result = run_once(
+        benchmark,
+        fig7_covert.run,
+        bit_times=bit_times,
+        payload_bits=payload_bits,
+        n_runs=n_runs,
+    )
+
+    for p in result.points:
+        benchmark.extra_info[f"{p.bit_time*1e3:.1f}ms_ber_pct"] = round(p.ber * 100, 2)
+        benchmark.extra_info[f"{p.bit_time*1e3:.1f}ms_tr"] = round(
+            p.transmission_rate, 2
+        )
+
+    at4 = result.at(4e-3)
+    # TR framing math reproduces the paper's 247.94 b/s at 4 ms with
+    # 10 kb payloads; scaled payloads shift it slightly.
+    if payload_bits == 10_000:
+        assert abs(at4.transmission_rate - 247.94) < 0.05
+    assert at4.ber < 0.01  # paper: 0.24%
+    # BER grows toward short bit times (paper's trade-off).
+    shortest = result.points[0]
+    longest = result.points[-1]
+    assert shortest.ber >= longest.ber
+    assert shortest.transmission_rate > longest.transmission_rate

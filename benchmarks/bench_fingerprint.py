@@ -1,0 +1,48 @@
+"""Bench: workload fingerprinting through LeakyDSP.
+
+Not a table/figure of this paper — the intro's motivating attack class
+([14]): classify what a co-tenant computes from sensor readouts alone.
+"""
+
+import numpy as np
+
+from conftest import full_scale, run_once
+
+from repro.attacks.fingerprint import (
+    WorkloadBench,
+    WorkloadFingerprinter,
+    workload_trace,
+)
+from repro.experiments import common
+
+WORKLOADS = ("idle", "aes", "virus-25", "virus-100")
+
+
+def _run(n_train, n_test):
+    setup = common.Basys3Setup.create()
+    virus = common.make_virus(setup, 2000, 8)
+    sensor = common.make_leakydsp(setup, common.placement_pblock(setup.device, "P6"))
+    bench = WorkloadBench(
+        sensor, setup.coupling, virus, common.make_hw_model(), common.AES_POSITION
+    )
+    rng = np.random.default_rng(11)
+    train = {
+        w: [workload_trace(bench, w, rng=rng) for _ in range(n_train)]
+        for w in WORKLOADS
+    }
+    test = {
+        w: [workload_trace(bench, w, rng=rng) for _ in range(n_test)]
+        for w in WORKLOADS
+    }
+    fp = WorkloadFingerprinter()
+    fp.train(train)
+    return fp.accuracy(test)
+
+
+def test_workload_fingerprinting(benchmark):
+    n_train, n_test = (20, 20) if full_scale() else (8, 8)
+
+    accuracy = run_once(benchmark, _run, n_train, n_test)
+
+    benchmark.extra_info["accuracy"] = round(accuracy, 3)
+    assert accuracy >= 0.9

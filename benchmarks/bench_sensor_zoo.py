@@ -1,0 +1,40 @@
+"""Bench: the sensor-zoo comparison (extension experiment).
+
+Lines every sensor family up on the Fig. 3 workload.  The expected
+landscape: the RO has the rawest granularity but is instantly rejected
+(combinational loop); the TDC is linear but rejected (carry sampler);
+RDS passes but is coarse; LeakyDSP passes *and* keeps DSP-grade
+granularity — the paper's niche, quantified.
+"""
+
+from conftest import full_scale, run_once
+
+from repro.experiments import sensor_zoo
+
+
+def test_sensor_zoo(benchmark):
+    n_readouts = 1000 if full_scale() else 300
+
+    result = run_once(benchmark, sensor_zoo.run, n_readouts=n_readouts)
+
+    for row in result.rows:
+        benchmark.extra_info[f"{row.sensor}_granularity"] = round(row.granularity, 2)
+        benchmark.extra_info[f"{row.sensor}_checker"] = (
+            "pass" if row.passes_bitstream_check else "reject"
+        )
+
+    leaky = result.row("LeakyDSP")
+    tdc = result.row("TDC")
+    rds = result.row("RDS")
+    ro = result.row("RO")
+
+    # Every sensor tracks the workload linearly.
+    assert all(r.pearson_r < -0.9 for r in result.rows)
+    # The checker admits exactly the loop-free, carry-free designs.
+    assert leaky.passes_bitstream_check and rds.passes_bitstream_check
+    assert not tdc.passes_bitstream_check and not ro.passes_bitstream_check
+    # Among admitted sensors, LeakyDSP is the finer-grained one.
+    assert leaky.granularity > rds.granularity
+    # LeakyDSP consumes no traditional fabric at all.
+    assert leaky.luts == leaky.ffs == leaky.carries == 0
+    assert leaky.dsps == 3

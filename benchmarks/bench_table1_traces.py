@@ -1,0 +1,45 @@
+"""Bench: regenerate Table I (traces to break the full AES key per
+placement).
+
+Paper values: LeakyDSP needs 25k-58k traces depending on placement;
+the TDC baseline needs 51k.  The reproduced shape: every placement
+breaks within the campaign budget, the best placement needs the fewest
+traces, and the TDC lands within/above the LeakyDSP band.
+"""
+
+from conftest import full_scale, run_once
+
+from repro.experiments import common, table1_traces
+
+
+def test_table1_traces(benchmark):
+    if full_scale():
+        placements = tuple(common.CPA_PLACEMENTS)
+        n_traces, step = 60_000, 1_000
+    else:
+        placements = ("P6", "P1")
+        n_traces, step = 40_000, 5_000
+
+    result = run_once(
+        benchmark,
+        table1_traces.run,
+        placements=placements,
+        n_traces=n_traces,
+        step=step,
+        include_tdc=True,
+    )
+
+    for row in result.rows:
+        key = f"{row.sensor}_{row.placement}"
+        benchmark.extra_info[key] = row.traces_to_break or f">{row.n_collected}"
+
+    dsp_rows = [r for r in result.rows if r.sensor == "LeakyDSP"]
+    tdc_rows = [r for r in result.rows if r.sensor == "TDC"]
+    best = min(
+        (r.traces_to_break for r in dsp_rows if r.traces_to_break is not None),
+        default=None,
+    )
+    assert best is not None, "no LeakyDSP placement broke the key"
+    # The best LeakyDSP placement beats the TDC baseline (paper: 25k vs 51k).
+    if tdc_rows and tdc_rows[0].traces_to_break is not None:
+        assert best < tdc_rows[0].traces_to_break

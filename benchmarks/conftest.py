@@ -1,0 +1,23 @@
+"""Shared benchmark helpers.
+
+Every bench regenerates one paper table/figure.  By default the
+workloads are scaled down so the whole suite runs on a laptop in
+minutes; set ``REPRO_FULL=1`` for paper-scale runs.  Each bench stores
+its regenerated rows in ``benchmark.extra_info`` so the numbers ship
+with the benchmark report.
+"""
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    """Whether paper-scale workloads were requested."""
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark clock
+    (experiments are minutes-long; multiple rounds would be wasteful)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,62 @@
+"""Leakage assessment: TVLA through LeakyDSP, before and after an
+active fence.
+
+Before mounting a full CPA, an evaluator (or attacker) runs the cheap
+fixed-vs-random t-test to confirm the sensor actually sees
+data-dependent leakage — and a defender uses the same test to size an
+active fence.  This example runs TVLA on the AES core through LeakyDSP
+on the bare board and again with a defender's noise fence around the
+victim.
+
+Run: ``python examples/leakage_assessment.py``
+"""
+
+import numpy as np
+
+from repro.analysis.tvla import TVLA_THRESHOLD, assess_aes_leakage
+from repro.defense.fence import ActiveFence
+from repro.experiments import common
+from repro.pdn.noise import NoiseModel
+from repro.traces.acquisition import AESTraceAcquisition
+
+KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+
+
+def run_tvla(noise, label):
+    setup = common.Basys3Setup.create()
+    sensor = common.make_leakydsp(
+        setup, common.placement_pblock(setup.device, "P6"), seed=7
+    )
+    acq = AESTraceAcquisition(
+        sensor, setup.coupling, common.make_hw_model(), common.AES_POSITION,
+        noise=noise,
+    )
+    result = assess_aes_leakage(acq, KEY, n_traces_per_class=2000, rng=3)
+    verdict = "LEAKS" if result.leaks else "quiet"
+    print(f"{label:<28} max|t| = {result.max_abs_t:6.1f}  "
+          f"({len(result.leaky_samples)} samples over {TVLA_THRESHOLD}) -> {verdict}")
+    return result, setup, sensor
+
+
+def main() -> None:
+    print(f"TVLA fixed-vs-random, threshold |t| > {TVLA_THRESHOLD}\n")
+
+    base_noise = NoiseModel(white_rms=1.6e-3, drift_rms=0.0)
+    result, setup, sensor = run_tvla(base_noise, "bare board")
+
+    # A defender rings the AES core with noise fences of growing size.
+    for n_instances in (2000, 8000):
+        fence = ActiveFence(
+            setup.coupling, center=common.AES_POSITION,
+            radius=8.0, n_instances=n_instances,
+        )
+        hardened = fence.harden(base_noise, sensor.require_position())
+        run_tvla(hardened, f"with {n_instances}-instance fence")
+
+    print("\nThe fence does not remove the leak, it buries it: the")
+    print("t-statistic shrinks with fence size, inflating the trace cost")
+    print("of any subsequent CPA by the square of the noise ratio.")
+
+
+if __name__ == "__main__":
+    main()

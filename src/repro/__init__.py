@@ -1,0 +1,62 @@
+"""LeakyDSP (DAC 2025) reproduction library.
+
+A full-system simulation of DSP-block voltage sensors on multi-tenant
+FPGAs: the simulated substrate (device grids, vendor primitives, PDN,
+voltage-dependent timing), the LeakyDSP sensor and its TDC/RO
+baselines, the victim circuits (power virus, AES-128), and the
+end-to-end attacks (CPA key extraction with key-rank estimation, covert
+channels) plus provider-side defenses.
+
+Quickstart::
+
+    from repro import LeakyDSP, calibrate
+    from repro.fpga import Placer, Pblock, xc7a35t
+
+    device = xc7a35t()
+    sensor = LeakyDSP(device=device, n_blocks=3, seed=7)
+    sensor.place(Placer(device))
+    calibrate(sensor, rng=0)
+    readouts = sensor.sample_readouts([1.0, 0.99, 0.98])
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results of every reproduced table and figure.
+"""
+
+from repro.config import DEFAULT_CONSTANTS, PhysicalConstants, SimulationConfig
+from repro.core import CalibrationResult, LeakyDSP, VoltageSensor, calibrate
+from repro.errors import (
+    AcquisitionError,
+    AttackError,
+    CalibrationError,
+    ConfigurationError,
+    CovertChannelError,
+    NetlistError,
+    PlacementError,
+    PrimitiveConfigError,
+    ReproError,
+)
+from repro.sensors import RingOscillatorSensor, TDC
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_CONSTANTS",
+    "PhysicalConstants",
+    "SimulationConfig",
+    "CalibrationResult",
+    "LeakyDSP",
+    "VoltageSensor",
+    "calibrate",
+    "TDC",
+    "RingOscillatorSensor",
+    "ReproError",
+    "ConfigurationError",
+    "PrimitiveConfigError",
+    "NetlistError",
+    "PlacementError",
+    "CalibrationError",
+    "AcquisitionError",
+    "AttackError",
+    "CovertChannelError",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Statistics and sweep utilities shared by the experiments."""
+
+from repro.analysis.stats import (
+    linear_regression,
+    pearson,
+    snr,
+    welch_t_test,
+)
+from repro.analysis.sweep import SweepResult, sweep
+
+__all__ = [
+    "linear_regression",
+    "pearson",
+    "snr",
+    "welch_t_test",
+    "SweepResult",
+    "sweep",
+]

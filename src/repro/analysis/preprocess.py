@@ -1,0 +1,150 @@
+"""Trace preprocessing: the attacker-side signal conditioning toolbox.
+
+Real campaigns (and the paper's, via the GPU CPA tool [8]) condition
+raw sensor traces before correlation:
+
+* **standardization** removes per-sample offset/scale so samples with
+  different baselines contribute equally;
+* **moving-average filtering** trades temporal resolution for noise
+  when the leak spans several sensor samples (it does here: the PDN
+  low-pass smears each AES round across its cycle);
+* **alignment** undoes trigger jitter by cross-correlating each trace
+  against a reference — our simulated trigger is exact, so alignment is
+  exercised by injecting known shifts in the tests;
+* **points-of-interest selection** keeps only the most
+  variance-carrying samples, shrinking the CPA working set.
+
+All functions are pure and vectorized over ``(n_traces, n_samples)``
+float arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AttackError
+
+
+def _as_matrix(traces) -> np.ndarray:
+    t = np.asarray(traces, dtype=np.float64)
+    if t.ndim != 2 or t.shape[0] < 1 or t.shape[1] < 1:
+        raise AttackError(f"traces must be a (n, samples) matrix, got {t.shape}")
+    return t
+
+
+def standardize(traces) -> np.ndarray:
+    """Per-sample z-score: zero mean, unit variance along the trace
+    axis.  Constant samples map to zero."""
+    t = _as_matrix(traces)
+    mean = t.mean(axis=0)
+    std = t.std(axis=0)
+    out = t - mean
+    nonzero = std > 0
+    out[:, nonzero] /= std[nonzero]
+    out[:, ~nonzero] = 0.0
+    return out
+
+
+def moving_average(traces, window: int) -> np.ndarray:
+    """Boxcar-filter each trace (same-length output, edge-truncated
+    windows).  ``window = 1`` is the identity."""
+    t = _as_matrix(traces)
+    if window < 1:
+        raise AttackError("window must be >= 1")
+    if window == 1:
+        return t.copy()
+    if window > t.shape[1]:
+        raise AttackError(
+            f"window {window} exceeds trace length {t.shape[1]}"
+        )
+    kernel = np.ones(window)
+    # Normalize by the actual number of in-bounds taps per position.
+    counts = np.convolve(np.ones(t.shape[1]), kernel, mode="same")
+    out = np.empty_like(t)
+    for i in range(t.shape[0]):
+        out[i] = np.convolve(t[i], kernel, mode="same") / counts
+    return out
+
+
+def align(
+    traces,
+    reference: Optional[np.ndarray] = None,
+    max_shift: int = 10,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Align traces to a reference by integer cross-correlation shifts.
+
+    Parameters
+    ----------
+    traces:
+        ``(n, samples)`` raw traces.
+    reference:
+        The template to align against; defaults to the mean trace.
+    max_shift:
+        Largest shift (either direction) considered.
+
+    Returns
+    -------
+    (aligned, shifts)
+        Aligned traces (edges filled with each trace's mean) and the
+        per-trace shift that was applied.  A positive shift means the
+        trace lagged the reference and was advanced by that many
+        samples.
+    """
+    t = _as_matrix(traces)
+    n, samples = t.shape
+    if max_shift < 0 or max_shift >= samples:
+        raise AttackError(f"max_shift must be in [0, {samples - 1})")
+    ref = t.mean(axis=0) if reference is None else np.asarray(reference, dtype=float)
+    if ref.shape != (samples,):
+        raise AttackError("reference length must match the trace length")
+    ref_c = ref - ref.mean()
+
+    shifts = np.zeros(n, dtype=np.int64)
+    aligned = np.empty_like(t)
+    for i in range(n):
+        row = t[i] - t[i].mean()
+        best_score, best_shift = -np.inf, 0
+        for shift in range(-max_shift, max_shift + 1):
+            if shift >= 0:
+                score = float(row[shift:] @ ref_c[: samples - shift])
+            else:
+                score = float(row[:shift] @ ref_c[-shift:])
+            if score > best_score:
+                best_score, best_shift = score, shift
+        shifts[i] = best_shift
+        fill = t[i].mean()
+        rolled = np.full(samples, fill)
+        if best_shift >= 0:
+            rolled[: samples - best_shift] = t[i, best_shift:]
+        else:
+            rolled[-best_shift:] = t[i, :best_shift]
+        aligned[i] = rolled
+    return aligned, shifts
+
+
+def select_poi(traces, n_points: int) -> np.ndarray:
+    """Indices of the ``n_points`` highest-variance samples (sorted
+    ascending) — the classic points-of-interest reduction."""
+    t = _as_matrix(traces)
+    if not 1 <= n_points <= t.shape[1]:
+        raise AttackError(
+            f"n_points must be 1..{t.shape[1]}, got {n_points}"
+        )
+    variance = t.var(axis=0)
+    return np.sort(np.argsort(variance)[-n_points:])
+
+
+def average_groups(traces, group_size: int) -> np.ndarray:
+    """Average consecutive groups of traces (classic SNR boosting for
+    repeated identical operations).  Trailing leftovers are dropped."""
+    t = _as_matrix(traces)
+    if group_size < 1:
+        raise AttackError("group_size must be >= 1")
+    n_groups = t.shape[0] // group_size
+    if n_groups == 0:
+        raise AttackError("fewer traces than one group")
+    return t[: n_groups * group_size].reshape(
+        n_groups, group_size, t.shape[1]
+    ).mean(axis=1)

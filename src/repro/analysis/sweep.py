@@ -1,0 +1,40 @@
+"""Tiny parameter-sweep helper the experiment modules share."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class SweepResult:
+    """One sweep: parameter values and the per-value outputs."""
+
+    parameter: str
+    values: List[Any] = field(default_factory=list)
+    outputs: List[Any] = field(default_factory=list)
+
+    def as_rows(self) -> List[Dict[str, Any]]:
+        """``[{parameter: value, "output": output}, ...]`` rows."""
+        return [
+            {self.parameter: v, "output": o}
+            for v, o in zip(self.values, self.outputs)
+        ]
+
+
+def sweep(
+    parameter: str,
+    values: Sequence[Any],
+    fn: Callable[[Any], Any],
+) -> SweepResult:
+    """Evaluate ``fn`` over ``values``, collecting a
+    :class:`SweepResult`."""
+    values = list(values)
+    if not values:
+        raise ConfigurationError("sweep needs at least one value")
+    result = SweepResult(parameter=parameter, values=values)
+    for v in values:
+        result.outputs.append(fn(v))
+    return result

@@ -1,0 +1,183 @@
+"""A reliable framing protocol over the raw covert channel.
+
+Fig. 7 measures the *raw* channel: random bits, one threshold per
+transmission, BER as the quality metric.  A real exfiltration needs
+more — the paper's own numbers (0.24% BER at the recommended operating
+point) mean a 10 kb transfer still corrupts ~24 bits.  This module
+layers the standard fixes on top of :class:`repro.attacks.covert.
+CovertChannel`:
+
+* **packetization** — payloads split into fixed-size packets, each with
+  its own preamble, so the decision threshold retrains often enough to
+  track supply drift;
+* **CRC-8 detection** — each packet carries a CRC; corrupt packets are
+  identified (and, in a full system, retransmitted — here the caller
+  sees exactly which packets failed);
+* **repetition coding** — optional odd-rate bit repetition with
+  majority vote, trading rate for error floor (rate-3 turns a 0.24%
+  BER into ~1.7e-5).
+
+The goodput accounting makes the rate/reliability trade explicit:
+protocol bits (preambles, CRCs, repetition) all count against the wall
+clock, the way the paper's 247.94 b/s counts its framing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.attacks.covert import CovertChannel
+from repro.config import RngLike, make_rng
+from repro.errors import CovertChannelError
+
+#: CRC-8/ATM polynomial x^8 + x^2 + x + 1.
+CRC8_POLY = 0x07
+
+
+def crc8(bits: np.ndarray) -> np.ndarray:
+    """CRC-8 over a bit array (MSB-first); returns 8 CRC bits."""
+    bits = np.asarray(bits).astype(np.int64).ravel()
+    if not np.isin(bits, (0, 1)).all():
+        raise CovertChannelError("CRC input must be 0/1 bits")
+    reg = 0
+    for bit in bits:
+        reg ^= int(bit) << 7
+        reg <<= 1
+        if reg & 0x100:
+            reg ^= CRC8_POLY | 0x100
+    reg &= 0xFF
+    return np.array([(reg >> (7 - i)) & 1 for i in range(8)], dtype=np.int64)
+
+
+def repeat_encode(bits: np.ndarray, rate: int) -> np.ndarray:
+    """Repetition-encode (each bit sent ``rate`` times, odd rate)."""
+    if rate < 1 or rate % 2 == 0:
+        raise CovertChannelError("repetition rate must be odd and >= 1")
+    return np.repeat(np.asarray(bits).astype(np.int64).ravel(), rate)
+
+
+def repeat_decode(bits: np.ndarray, rate: int) -> np.ndarray:
+    """Majority-vote decode of a repetition-coded stream."""
+    bits = np.asarray(bits).astype(np.int64).ravel()
+    if rate < 1 or rate % 2 == 0:
+        raise CovertChannelError("repetition rate must be odd and >= 1")
+    if bits.size % rate != 0:
+        raise CovertChannelError(
+            f"stream of {bits.size} bits is not a multiple of rate {rate}"
+        )
+    groups = bits.reshape(-1, rate)
+    return (groups.sum(axis=1) > rate // 2).astype(np.int64)
+
+
+@dataclass
+class PacketResult:
+    """One packet's outcome."""
+
+    index: int
+    payload_bits: int
+    crc_ok: bool
+    bit_errors: int
+
+
+@dataclass
+class TransferResult:
+    """A whole framed transfer."""
+
+    packets: List[PacketResult] = field(default_factory=list)
+    decoded: Optional[np.ndarray] = None
+    wall_time: float = 0.0
+
+    @property
+    def packet_error_rate(self) -> float:
+        """Fraction of packets with a failed CRC."""
+        if not self.packets:
+            return 0.0
+        return sum(not p.crc_ok for p in self.packets) / len(self.packets)
+
+    @property
+    def residual_ber(self) -> float:
+        """Bit error rate over the delivered payload."""
+        total = sum(p.payload_bits for p in self.packets)
+        errors = sum(p.bit_errors for p in self.packets)
+        return errors / total if total else 0.0
+
+    @property
+    def goodput(self) -> float:
+        """Correct payload bits per wall second (CRC-failed packets
+        contribute nothing — they would be retransmitted)."""
+        good = sum(p.payload_bits for p in self.packets if p.crc_ok)
+        return good / self.wall_time if self.wall_time > 0 else 0.0
+
+
+class FramedCovertChannel:
+    """Packetized, CRC-protected, optionally repetition-coded transfer
+    over a raw covert channel.
+
+    Parameters
+    ----------
+    channel:
+        The raw :class:`~repro.attacks.covert.CovertChannel`.
+    packet_payload_bits:
+        Payload bits per packet.
+    repetition:
+        Odd repetition-code rate (1 = uncoded).
+    """
+
+    def __init__(
+        self,
+        channel: CovertChannel,
+        packet_payload_bits: int = 512,
+        repetition: int = 1,
+    ) -> None:
+        if packet_payload_bits < 8:
+            raise CovertChannelError("packets need at least 8 payload bits")
+        if repetition < 1 or repetition % 2 == 0:
+            raise CovertChannelError("repetition rate must be odd and >= 1")
+        self.channel = channel
+        self.packet_payload_bits = packet_payload_bits
+        self.repetition = repetition
+
+    def transfer(
+        self,
+        payload: np.ndarray,
+        bit_time: float,
+        rng: RngLike = None,
+    ) -> TransferResult:
+        """Send a payload as framed packets; returns per-packet
+        outcomes, the reassembled payload and goodput."""
+        rng = make_rng(rng)
+        payload = np.asarray(payload).astype(np.int64).ravel()
+        if payload.size == 0:
+            raise CovertChannelError("payload is empty")
+        result = TransferResult()
+        decoded_parts: List[np.ndarray] = []
+        overhead = self.channel.config.overhead_bits
+
+        n_packets = -(-payload.size // self.packet_payload_bits)
+        for index in range(n_packets):
+            chunk = payload[
+                index * self.packet_payload_bits : (index + 1) * self.packet_payload_bits
+            ]
+            frame = np.concatenate([chunk, crc8(chunk)])
+            coded = repeat_encode(frame, self.repetition)
+            raw = self.channel.transmit(coded, bit_time, rng=rng)
+            frame_rx = repeat_decode(raw.decoded, self.repetition)
+            chunk_rx, crc_rx = frame_rx[: chunk.size], frame_rx[chunk.size :]
+            crc_ok = bool(np.array_equal(crc8(chunk_rx), crc_rx))
+            bit_errors = int(np.count_nonzero(chunk_rx != chunk))
+            result.packets.append(
+                PacketResult(
+                    index=index,
+                    payload_bits=chunk.size,
+                    crc_ok=crc_ok,
+                    bit_errors=bit_errors,
+                )
+            )
+            decoded_parts.append(chunk_rx)
+            result.wall_time += (coded.size + overhead) * bit_time
+
+        result.decoded = np.concatenate(decoded_parts)[: payload.size]
+        return result

@@ -1,0 +1,173 @@
+"""Correlation power analysis against the round-per-cycle AES core.
+
+The attack targets the *last-round* register transition: byte ``b`` of
+the round register flips from the round-9 state to the ciphertext, and
+the round-9 byte is computable from the ciphertext under a guess of one
+last-round-key byte:
+
+``state9[SHIFT_ROWS_IDX[j]] = InvSBox(ct[j] ^ k10[j])``
+
+so the hypothesis for key byte ``j``, guess ``g`` is
+
+``h = HW(InvSBox(ct[j] ^ g) ^ ct[SHIFT_ROWS_IDX[j]])``.
+
+Pearson correlation between ``h`` and every trace sample, maximized
+over samples, ranks the 256 guesses; the recovered last-round key is
+inverted through the key schedule to the master key.
+
+The engine is *incremental*: it maintains the five running sums the
+correlation needs, so rank-vs-trace-count curves (Fig. 5/6) reuse all
+earlier work, and it is fully vectorized — hypotheses for all 256
+guesses of a byte come from one precomputed ``(256, 256, 256)`` lookup
+table (the numpy stand-in for the paper's GPU CPA tool [8]).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AttackError
+from repro.traces.store import TraceSet
+from repro.victims.aes.core import SHIFT_ROWS_IDX
+from repro.victims.aes.key_schedule import invert_key_schedule
+from repro.victims.aes.sbox import HW8, INV_SBOX
+
+_HYP_TABLE: Optional[np.ndarray] = None
+
+
+def hypothesis_table() -> np.ndarray:
+    """The ``(guess, ct_target, ct_partner) -> HW`` lookup table
+    (16 MiB, built once per process)."""
+    global _HYP_TABLE
+    if _HYP_TABLE is None:
+        g = np.arange(256, dtype=np.uint8)[:, None]
+        ct = np.arange(256, dtype=np.uint8)[None, :]
+        pred = INV_SBOX[ct ^ g]  # (256 guesses, 256 ct_target)
+        partner = np.arange(256, dtype=np.uint8)[None, None, :]
+        _HYP_TABLE = HW8[pred[:, :, None] ^ partner]  # (256, 256, 256)
+    return _HYP_TABLE
+
+
+class CPAAttack:
+    """Incremental last-round CPA.
+
+    Parameters
+    ----------
+    n_samples:
+        Samples per trace.
+    sample_window:
+        Optional ``(start, stop)`` restriction of the correlated sample
+        range (the attacker knows the trigger-to-last-round timing, so
+        correlating the whole trace is wasted work; ``None`` correlates
+        everything).
+    """
+
+    N_BYTES = 16
+    N_GUESSES = 256
+
+    def __init__(self, n_samples: int, sample_window: Optional[Tuple[int, int]] = None) -> None:
+        if n_samples <= 0:
+            raise AttackError("n_samples must be positive")
+        if sample_window is not None:
+            start, stop = sample_window
+            if not 0 <= start < stop <= n_samples:
+                raise AttackError(
+                    f"sample window {sample_window} invalid for {n_samples} samples"
+                )
+        self.n_samples = n_samples
+        self.sample_window = sample_window
+        w = self._window_size
+        self._n = 0
+        self._s_t = np.zeros(w)
+        self._s_t2 = np.zeros(w)
+        self._s_h = np.zeros((self.N_BYTES, self.N_GUESSES))
+        self._s_h2 = np.zeros((self.N_BYTES, self.N_GUESSES))
+        self._s_ht = np.zeros((self.N_BYTES, self.N_GUESSES, w))
+
+    @property
+    def _window_size(self) -> int:
+        if self.sample_window is None:
+            return self.n_samples
+        return self.sample_window[1] - self.sample_window[0]
+
+    @property
+    def n_traces(self) -> int:
+        """Traces accumulated so far."""
+        return self._n
+
+    # ------------------------------------------------------------------
+    def add_traces(self, traces: np.ndarray, ciphertexts: np.ndarray) -> None:
+        """Accumulate a batch of traces and their ciphertexts."""
+        traces = np.asarray(traces, dtype=np.float64)
+        cts = np.asarray(ciphertexts, dtype=np.uint8)
+        if traces.ndim != 2 or traces.shape[1] != self.n_samples:
+            raise AttackError(
+                f"traces must be (m, {self.n_samples}), got {traces.shape}"
+            )
+        if cts.shape != (traces.shape[0], 16):
+            raise AttackError("ciphertexts must be (m, 16)")
+        if self.sample_window is not None:
+            traces = traces[:, self.sample_window[0] : self.sample_window[1]]
+        table = hypothesis_table()
+
+        self._n += traces.shape[0]
+        self._s_t += traces.sum(axis=0)
+        self._s_t2 += (traces**2).sum(axis=0)
+        for j in range(self.N_BYTES):
+            partner = int(SHIFT_ROWS_IDX[j])
+            h = table[:, cts[:, j], cts[:, partner]].astype(np.float64)  # (256, m)
+            self._s_h[j] += h.sum(axis=1)
+            self._s_h2[j] += (h**2).sum(axis=1)
+            self._s_ht[j] += h @ traces
+
+    def add_trace_set(self, trace_set: TraceSet, limit: Optional[int] = None) -> None:
+        """Accumulate (the first ``limit`` traces of) a
+        :class:`~repro.traces.store.TraceSet`."""
+        n = len(trace_set) if limit is None else min(limit, len(trace_set))
+        self.add_traces(trace_set.traces[:n], trace_set.ciphertexts[:n])
+
+    # ------------------------------------------------------------------
+    def correlations(self) -> np.ndarray:
+        """Pearson correlation per (key byte, guess, sample):
+        ``(16, 256, window)``."""
+        if self._n < 2:
+            raise AttackError("need at least two traces to correlate")
+        n = float(self._n)
+        var_t = n * self._s_t2 - self._s_t**2  # (w,)
+        var_h = n * self._s_h2 - self._s_h**2  # (16, 256)
+        cov = n * self._s_ht - self._s_h[:, :, None] * self._s_t[None, None, :]
+        denom = np.sqrt(
+            np.maximum(var_h[:, :, None], 0.0) * np.maximum(var_t[None, None, :], 0.0)
+        )
+        with np.errstate(invalid="ignore", divide="ignore"):
+            rho = cov / denom
+        return np.nan_to_num(rho, nan=0.0)
+
+    def peak_correlations(self) -> np.ndarray:
+        """Per (byte, guess) |correlation| maximized over samples:
+        ``(16, 256)`` — the guess-ranking statistic."""
+        return np.abs(self.correlations()).max(axis=2)
+
+    def best_guesses(self) -> np.ndarray:
+        """The most-correlated guess of each last-round-key byte."""
+        return self.peak_correlations().argmax(axis=1).astype(np.uint8)
+
+    def recover_master_key(self) -> np.ndarray:
+        """Best-guess last-round key inverted to the 16-byte master
+        key."""
+        return invert_key_schedule(self.best_guesses(), round_index=10)
+
+    def byte_ranks(self, true_last_round_key) -> np.ndarray:
+        """Rank (0 = best) of each true last-round-key byte among the
+        guesses — the per-byte convergence diagnostic."""
+        true = np.asarray(true_last_round_key, dtype=np.uint8)
+        if true.shape != (16,):
+            raise AttackError("true_last_round_key must be 16 bytes")
+        peaks = self.peak_correlations()
+        order = np.argsort(-peaks, axis=1)
+        ranks = np.empty(16, dtype=np.int64)
+        for j in range(16):
+            ranks[j] = int(np.where(order[j] == true[j])[0][0])
+        return ranks

@@ -1,0 +1,103 @@
+"""Classic differential power analysis (difference of means).
+
+Kocher's original DPA predates CPA: instead of correlating against a
+multi-bit power model, partition the traces by one *predicted bit* of
+an intermediate value under each key guess and look at the difference
+between the two partitions' mean traces.  The correct guess predicts a
+bit that genuinely toggled in hardware, so its difference trace shows a
+spike; wrong guesses partition randomly and flatten.
+
+Included alongside CPA for two reasons: it is the natural cross-check
+(a fundamentally different statistic must finger the same key bytes on
+the same traces), and its single-bit selection makes it measurably less
+trace-efficient than CPA here — the HD of a full register byte carries
+~8x the signal — which the comparison test quantifies.
+
+The target is the same last-round register transition as
+:mod:`repro.attacks.cpa`: selection bit ``t`` of byte ``j`` under guess
+``g`` is bit ``t`` of ``InvSBox(ct[j] ^ g) ^ ct[SHIFT_ROWS_IDX[j]]``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AttackError
+from repro.victims.aes.core import SHIFT_ROWS_IDX
+from repro.victims.aes.sbox import INV_SBOX
+
+
+class DPAAttack:
+    """Single-bit difference-of-means DPA on the last AES round.
+
+    Parameters
+    ----------
+    n_samples:
+        Samples per trace.
+    selection_bit:
+        Which bit (0..7) of the predicted register-transition byte
+        partitions the traces.
+    """
+
+    N_GUESSES = 256
+
+    def __init__(self, n_samples: int, selection_bit: int = 0) -> None:
+        if n_samples <= 0:
+            raise AttackError("n_samples must be positive")
+        if not 0 <= selection_bit <= 7:
+            raise AttackError("selection_bit must be 0..7")
+        self.n_samples = n_samples
+        self.selection_bit = selection_bit
+        # Per (byte, guess, partition): trace count and running sums.
+        self._count = np.zeros((16, self.N_GUESSES, 2))
+        self._sums = np.zeros((16, self.N_GUESSES, 2, n_samples))
+
+    @property
+    def n_traces(self) -> int:
+        """Traces accumulated so far."""
+        return int(self._count[0, 0].sum())
+
+    def add_traces(self, traces: np.ndarray, ciphertexts: np.ndarray) -> None:
+        """Accumulate a batch of traces and ciphertexts."""
+        traces = np.asarray(traces, dtype=np.float64)
+        cts = np.asarray(ciphertexts, dtype=np.uint8)
+        if traces.ndim != 2 or traces.shape[1] != self.n_samples:
+            raise AttackError(f"traces must be (m, {self.n_samples})")
+        if cts.shape != (traces.shape[0], 16):
+            raise AttackError("ciphertexts must be (m, 16)")
+        guesses = np.arange(self.N_GUESSES, dtype=np.uint8)[:, None]
+        for j in range(16):
+            partner = int(SHIFT_ROWS_IDX[j])
+            transition = INV_SBOX[cts[:, j][None, :] ^ guesses] ^ cts[:, partner][None, :]
+            bits = (transition >> self.selection_bit) & 1  # (256, m)
+            for value in (0, 1):
+                mask = bits == value  # (256, m)
+                self._count[j, :, value] += mask.sum(axis=1)
+                self._sums[j, :, value] += mask.astype(np.float64) @ traces
+
+    def difference_traces(self) -> np.ndarray:
+        """Per (byte, guess) difference-of-means trace,
+        ``(16, 256, n_samples)``."""
+        if self.n_traces < 2:
+            raise AttackError("need traces before evaluating DPA")
+        with np.errstate(invalid="ignore", divide="ignore"):
+            means = self._sums / self._count[..., None]
+        means = np.nan_to_num(means, nan=0.0)
+        return means[:, :, 1, :] - means[:, :, 0, :]
+
+    def peak_differences(self) -> np.ndarray:
+        """Max |difference| over samples per (byte, guess) —
+        the DPA ranking statistic, ``(16, 256)``."""
+        return np.abs(self.difference_traces()).max(axis=2)
+
+    def best_guesses(self) -> np.ndarray:
+        """The highest-spiking guess of each last-round-key byte."""
+        return self.peak_differences().argmax(axis=1).astype(np.uint8)
+
+    def recover_master_key(self) -> np.ndarray:
+        """Best-guess last-round key inverted to the master key."""
+        from repro.victims.aes.key_schedule import invert_key_schedule
+
+        return invert_key_schedule(self.best_guesses(), round_index=10)

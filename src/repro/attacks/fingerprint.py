@@ -1,0 +1,170 @@
+"""Workload fingerprinting through an on-chip voltage sensor.
+
+The paper's introduction lists fingerprinting co-located computations
+([14], DAC 2021) among the attacks a voltage sensor enables: different
+victim circuits draw current with different temporal signatures, so a
+classifier over sensor traces can tell *what* a co-tenant is running.
+
+This module implements the attack end to end on the simulated
+substrate:
+
+* :func:`workload_trace` renders a labelled victim workload (idle, an
+  AES burst, a power-virus duty pattern) into a sensor readout trace;
+* :class:`WorkloadFingerprinter` extracts translation-robust features
+  (readout moments plus low-frequency spectral magnitudes) and
+  classifies with nearest-centroid over z-scored features — deliberately
+  simple, since the point is how much the *sensor* leaks, not
+  classifier sophistication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import RngLike, make_rng
+from repro.core.sensor import VoltageSensor
+from repro.errors import AttackError
+from repro.pdn.coupling import CouplingModel
+from repro.pdn.noise import NoiseModel
+from repro.victims.aes import AES128, AESHardwareModel
+from repro.victims.power_virus import PowerVirusBank
+
+#: Number of FFT magnitude bins used as spectral features.
+N_SPECTRAL_FEATURES = 12
+
+
+@dataclass
+class WorkloadBench:
+    """Everything needed to render workload traces on one board."""
+
+    sensor: VoltageSensor
+    coupling: CouplingModel
+    virus: PowerVirusBank
+    hw_model: AESHardwareModel
+    aes_position: Tuple[float, float]
+    noise: NoiseModel = field(
+        default_factory=lambda: NoiseModel(white_rms=1.6e-3, drift_rms=0.0)
+    )
+
+
+def workload_trace(
+    bench: WorkloadBench,
+    workload: str,
+    n_samples: int = 512,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Render one sensor trace of a named victim workload.
+
+    Supported workloads: ``"idle"``, ``"aes"`` (back-to-back
+    encryptions), ``"virus-25"``/``"virus-50"``/``"virus-100"`` (duty
+    patterns of the power-virus bank at 25/50/100% group activity,
+    toggling at 1/32 of the sample rate).
+    """
+    rng = make_rng(rng)
+    sensor_pos = bench.sensor.require_position()
+    dt = bench.hw_model.sensor_clock.period
+    droop = np.zeros(n_samples)
+
+    if workload == "idle":
+        pass
+    elif workload == "aes":
+        aes = AES128(bytes(rng.integers(0, 256, 16, dtype=np.uint8)))
+        spb = bench.hw_model.samples_per_block
+        n_blocks = n_samples // spb + 1
+        pts = rng.integers(0, 256, (n_blocks, 16), dtype=np.uint8)
+        hd = bench.hw_model.cycle_hamming_distances(aes, pts)
+        wave = bench.hw_model.current_waveform(hd, lead_in_cycles=0)
+        current = wave.reshape(-1)[:n_samples]
+        kappa = bench.coupling.kappa(sensor_pos, bench.aes_position)
+        droop = kappa * bench.coupling.filter_currents(current, dt)
+    elif workload.startswith("virus-"):
+        try:
+            duty = int(workload.split("-", 1)[1])
+        except ValueError:
+            raise AttackError(f"unknown workload {workload!r}") from None
+        if not 0 < duty <= 100:
+            raise AttackError(f"virus duty must be 1..100, got {duty}")
+        groups = max(1, round(bench.virus.n_groups * duty / 100))
+        enables = np.zeros((bench.virus.n_groups, n_samples))
+        period = 32
+        on = (np.arange(n_samples) % period) < (period // 2)
+        enables[:groups, :] = on[None, :]
+        kappas = bench.virus.group_kappas(bench.coupling, sensor_pos)
+        currents = bench.virus.group_currents(enables)
+        droop = bench.coupling.filter_currents(kappas @ currents, dt)
+    else:
+        raise AttackError(f"unknown workload {workload!r}")
+
+    volts = bench.sensor.constants.v_nominal - droop
+    volts = volts + bench.noise.sample(n_samples, rng)
+    return bench.sensor.sample_readouts(volts, rng=rng, method="normal").astype(float)
+
+
+def extract_features(trace: np.ndarray) -> np.ndarray:
+    """Moment + spectral feature vector of one trace."""
+    trace = np.asarray(trace, dtype=float)
+    if trace.size < 2 * N_SPECTRAL_FEATURES:
+        raise AttackError("trace too short for feature extraction")
+    centred = trace - trace.mean()
+    spectrum = np.abs(np.fft.rfft(centred))[1 : N_SPECTRAL_FEATURES + 1]
+    return np.concatenate(
+        [
+            [trace.mean(), trace.std(), np.abs(np.diff(trace)).mean()],
+            spectrum / trace.size,
+        ]
+    )
+
+
+class WorkloadFingerprinter:
+    """Nearest-centroid classifier over trace features."""
+
+    def __init__(self) -> None:
+        self._centroids: Dict[str, np.ndarray] = {}
+        self._mean: Optional[np.ndarray] = None
+        self._scale: Optional[np.ndarray] = None
+
+    @property
+    def classes(self) -> List[str]:
+        """Known workload labels."""
+        return sorted(self._centroids)
+
+    def train(self, labelled_traces: Dict[str, Sequence[np.ndarray]]) -> None:
+        """Fit centroids from labelled example traces."""
+        if len(labelled_traces) < 2:
+            raise AttackError("need at least two workload classes")
+        features = {
+            label: np.array([extract_features(t) for t in traces])
+            for label, traces in labelled_traces.items()
+        }
+        stacked = np.concatenate(list(features.values()))
+        self._mean = stacked.mean(axis=0)
+        self._scale = stacked.std(axis=0) + 1e-12
+        self._centroids = {
+            label: ((f - self._mean) / self._scale).mean(axis=0)
+            for label, f in features.items()
+        }
+
+    def classify(self, trace: np.ndarray) -> str:
+        """Label one trace."""
+        if not self._centroids:
+            raise AttackError("fingerprinter is untrained")
+        z = (extract_features(trace) - self._mean) / self._scale
+        return min(
+            self._centroids,
+            key=lambda label: float(np.linalg.norm(z - self._centroids[label])),
+        )
+
+    def accuracy(self, labelled_traces: Dict[str, Sequence[np.ndarray]]) -> float:
+        """Fraction of held-out traces classified correctly."""
+        total = 0
+        correct = 0
+        for label, traces in labelled_traces.items():
+            for trace in traces:
+                total += 1
+                correct += int(self.classify(trace) == label)
+        if total == 0:
+            raise AttackError("no traces to evaluate")
+        return correct / total

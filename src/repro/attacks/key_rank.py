@@ -1,0 +1,118 @@
+"""Key-rank estimation by histogram convolution.
+
+The paper reports attack progress as the key-rank metric: how many key
+candidates an attacker would have to test before reaching the true key,
+given per-byte scores from the CPA.  Enumerating 2^128 candidates is
+impossible; the standard estimator (Glowacz et al., FSE 2015) bins each
+byte's 256 scores into a histogram, convolves the sixteen histograms to
+get the distribution of full-key scores, and reads the rank off as the
+mass above the true key's score.  Binning introduces bounded error,
+which is why the metric is reported as an upper and a lower bound —
+exactly the two curves in the paper's Fig. 5 and Fig. 6.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import AttackError
+
+
+def scores_from_correlations(peak_correlations: np.ndarray, n_traces: int) -> np.ndarray:
+    """Convert per-(byte, guess) peak |correlations| to additive
+    scores via the Fisher z-transform.
+
+    ``z = atanh(rho) * sqrt(n - 3)`` is monotone in the correlation and
+    approximately normal under the null, so summing byte scores ranks
+    full keys sensibly.  Shape in = shape out = ``(16, 256)``.
+    """
+    rho = np.asarray(peak_correlations, dtype=np.float64)
+    if rho.ndim != 2 or rho.shape[1] != 256:
+        raise AttackError(f"peak correlations must be (16, 256), got {rho.shape}")
+    if n_traces < 4:
+        raise AttackError("need at least 4 traces for Fisher scoring")
+    clipped = np.clip(np.abs(rho), 0.0, 0.9999)
+    return np.arctanh(clipped) * np.sqrt(n_traces - 3)
+
+
+def key_rank_bounds(
+    scores: np.ndarray,
+    true_key_bytes,
+    n_bins: int = 1024,
+) -> Tuple[float, float]:
+    """Histogram-convolution rank bounds.
+
+    Parameters
+    ----------
+    scores:
+        ``(16, 256)`` additive per-byte guess scores (higher = more
+        likely).
+    true_key_bytes:
+        The 16 true (last-round) key bytes to rank.
+    n_bins:
+        Histogram resolution; the bound gap shrinks as it grows.
+
+    Returns
+    -------
+    (float, float)
+        ``(log2 lower bound, log2 upper bound)`` of the key rank.  A
+        fully recovered key gives ``lower = 0``.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    true = np.asarray(true_key_bytes, dtype=np.intp)
+    if scores.shape != (16, 256):
+        raise AttackError(f"scores must be (16, 256), got {scores.shape}")
+    if true.shape != (16,):
+        raise AttackError("true_key_bytes must be 16 bytes")
+
+    lo = float(scores.min())
+    hi = float(scores.max())
+    if hi <= lo:
+        # Degenerate: all guesses tie; the rank is the full key space.
+        return (0.0, 128.0)
+    width = (hi - lo) / (n_bins - 1)
+
+    # Directional rounding (the Glowacz et al. construction): for the
+    # *upper* bound every competitor's score is rounded up while the
+    # true key's is rounded down, guaranteeing an overcount; vice versa
+    # for the lower bound.
+    bins_down = np.clip(
+        np.floor((scores - lo) / width).astype(np.int64), 0, n_bins - 1
+    )
+    bins_up = bins_down + 1
+    true_down = int(bins_down[np.arange(16), true].sum())
+    true_up = int(bins_up[np.arange(16), true].sum())
+
+    def convolved(bins: np.ndarray) -> np.ndarray:
+        # Direct convolution: each output bin is a dot product of
+        # non-negative terms, so its floating-point error is relative
+        # to its own magnitude.  (FFT convolution is unusable here: its
+        # error scales with the distribution's peak, ~2^128, and
+        # obliterates the tail mass that defines small ranks.)
+        size = n_bins + 1
+        dist = np.zeros(size)
+        np.add.at(dist, bins[0], 1.0)
+        for j in range(1, 16):
+            h = np.zeros(size)
+            np.add.at(h, bins[j], 1.0)
+            dist = np.convolve(dist, h)
+        return dist
+
+    def mass_at_or_above(dist: np.ndarray, b: int) -> float:
+        cum_from_top = np.cumsum(dist[::-1])[::-1]
+        if b <= 0:
+            return float(cum_from_top[0])
+        if b >= dist.shape[0]:
+            return 0.0
+        return float(cum_from_top[b])
+
+    upper_mass = mass_at_or_above(convolved(bins_up), true_down)
+    # Lower bound: competitors rounded down must STRICTLY beat the true
+    # key rounded up; the true key itself always counts (rank >= 1).
+    lower_mass = mass_at_or_above(convolved(bins_down), true_up + 1) + 1.0
+
+    upper = float(np.log2(max(upper_mass, 1.0)))
+    lower = float(np.log2(max(lower_mass, 1.0)))
+    return (min(lower, upper), upper)

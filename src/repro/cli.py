@@ -1,0 +1,95 @@
+"""Command-line entry point: run any reproduced experiment.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli fig3
+    python -m repro.cli table1
+    REPRO_FULL=1 python -m repro.cli all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+
+def _experiment_mains() -> Dict[str, Callable[[], None]]:
+    from repro.experiments import (
+        ablation_calib,
+        ablation_chain,
+        defense_study,
+        fig3_sensitivity,
+        fig4_placement,
+        fig5_keyrank,
+        fig6_frequency,
+        fig7_covert,
+        pdn_validation,
+        sensor_zoo,
+        table1_traces,
+    )
+
+    return {
+        "fig3": fig3_sensitivity.main,
+        "fig4": fig4_placement.main,
+        "table1": table1_traces.main,
+        "fig5": fig5_keyrank.main,
+        "fig6": fig6_frequency.main,
+        "fig7": fig7_covert.main,
+        "ablation-chain": ablation_chain.main,
+        "ablation-calib": ablation_calib.main,
+        "defense": defense_study.main,
+        "pdn-validation": pdn_validation.main,
+        "sensor-zoo": sensor_zoo.main,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce LeakyDSP (DAC 2025) experiments on the simulated "
+            "FPGA substrate.  Set REPRO_FULL=1 for paper-scale workloads."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help=(
+            "experiment to run: one of "
+            f"{', '.join(sorted(_experiment_mains()))}, 'all', or 'list'"
+        ),
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    mains = _experiment_mains()
+
+    if args.experiment == "list":
+        for name in sorted(mains):
+            print(name)
+        return 0
+    if args.experiment == "all":
+        t0 = time.time()
+        for name in sorted(mains):
+            print(f"\n===== {name} =====")
+            mains[name]()
+        print(f"\nall experiments done in {time.time() - t0:.0f}s")
+        return 0
+    if args.experiment not in mains:
+        print(
+            f"unknown experiment {args.experiment!r}; try 'list'",
+            file=sys.stderr,
+        )
+        return 2
+    mains[args.experiment]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

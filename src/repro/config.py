@@ -1,0 +1,100 @@
+"""Global model parameters and RNG plumbing.
+
+The simulation is deliberately deterministic: every stochastic component
+takes a :class:`numpy.random.Generator` (or a seed) explicitly, and the
+physical constants used to calibrate the models against the paper's
+numbers live in one place, :class:`PhysicalConstants`, so that the
+calibration story is auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def make_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh entropy), an integer seed, or an existing
+    generator (returned unchanged so that callers can thread one RNG
+    through a whole experiment).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+@dataclass(frozen=True)
+class PhysicalConstants:
+    """Calibrated physical constants for the simulated substrate.
+
+    The values are chosen so that the reproduced experiments land inside
+    the paper's reported bands (see DESIGN.md section 5 and
+    EXPERIMENTS.md).  They are plausible for a 28 nm Artix-7 but are not
+    measurements of real silicon.
+    """
+
+    #: Nominal core supply voltage [V] (VCCINT of 7-series).
+    v_nominal: float = 1.00
+    #: Alpha-power-law exponent for delay vs. voltage.
+    alpha: float = 1.30
+    #: Per-instance switching current of one active power-virus RO [A].
+    virus_current_per_instance: float = 55e-6
+    #: PDN first-order time constant [s].  Chosen so that per-round AES
+    #: current pulses are well resolved at 20 MHz and progressively
+    #: attenuated toward 100 MHz (the Fig. 6 frequency dependence).
+    pdn_tau: float = 9e-9
+    #: PDN coupling resistance at zero distance [V/A].
+    coupling_r0: float = 0.080
+    #: PDN coupling spatial decay length [tiles].
+    coupling_decay: float = 55.0
+    #: Fraction of the zero-distance coupling that never decays
+    #: (board-level shared impedance common to the whole die).
+    coupling_floor: float = 0.60
+    #: Nominal per-stage CARRY4 delay for the TDC [s].
+    tdc_stage_delay: float = 16e-12
+    #: Nominal delay of the TDC's coarse LUT delay line ahead of the
+    #: carry chain [s].
+    tdc_initial_delay: float = 2.2e-9
+    #: Nominal per-DSP combinational delay (pre-adder+multiplier+ALU) [s].
+    dsp_block_delay: float = 3.9e-9
+    #: Spread (std-dev) of per-output-bit settling times within the final
+    #: DSP block, as a fraction of one DSP block delay.
+    dsp_bit_spread: float = 0.076
+    #: Metastability window of a capture flip-flop [s].
+    metastability_window: float = 9e-12
+    #: RMS thermal/system voltage noise seen by a sensor [V].
+    voltage_noise_rms: float = 1.6e-3
+    #: AES core switching current per flipped round-register bit [A].
+    aes_current_per_bit: float = 4.5e-4
+    #: AES core static + clock-tree current while encrypting [A].
+    aes_base_current: float = 5e-3
+
+
+#: Library-wide default constants instance.
+DEFAULT_CONSTANTS = PhysicalConstants()
+
+
+@dataclass
+class SimulationConfig:
+    """Top-level knobs shared by experiments.
+
+    Attributes
+    ----------
+    constants:
+        The physical constants to simulate with.
+    seed:
+        Root seed for an experiment; derived streams are spawned from it.
+    """
+
+    constants: PhysicalConstants = field(default_factory=PhysicalConstants)
+    seed: Optional[int] = 0
+
+    def rng(self) -> np.random.Generator:
+        """Root generator for this configuration."""
+        return make_rng(self.seed)

@@ -1,0 +1,15 @@
+"""The paper's primary contribution: the LeakyDSP sensor.
+
+:class:`~repro.core.leaky_dsp.LeakyDSP` builds a chain of maliciously
+configured DSP blocks whose sampled output word is a fine-grained
+voltage sensor; :mod:`repro.core.calibration` implements the IDELAY
+tap-sweep calibration of Section III-B; :mod:`repro.core.sensor`
+defines the sensor interface shared with the baseline sensors in
+:mod:`repro.sensors`.
+"""
+
+from repro.core.calibration import CalibrationResult, calibrate
+from repro.core.leaky_dsp import LeakyDSP
+from repro.core.sensor import VoltageSensor
+
+__all__ = ["CalibrationResult", "calibrate", "LeakyDSP", "VoltageSensor"]

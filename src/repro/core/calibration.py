@@ -1,0 +1,155 @@
+"""Post-placement IDELAY calibration (Section III-B, "Calibration").
+
+After deployment the sensor's settle-time distribution sits at an
+unknown phase relative to the capture clock (placement, routing and
+process all shift it).  The paper's procedure: iteratively step the two
+IDELAY tap settings and keep the configuration at which the mean
+readout changes the most between two consecutive steps — i.e. park the
+capture edge on the steepest part of the readout-vs-phase curve, which
+is the peak of the settle-time density and therefore the operating
+point of maximum voltage sensitivity.
+
+:func:`calibrate` reproduces exactly that loop against any object
+implementing the :class:`~repro.core.sensor.VoltageSensor` tap
+interface (`tap_plan`/`set_taps`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import RngLike, make_rng
+from repro.errors import CalibrationError
+
+#: Below this best consecutive-step readout change (in bits) the sweep is
+#: considered to have found no edge at all.
+MIN_USABLE_STEP = 0.25
+
+
+@dataclass
+class CalibrationResult:
+    """Outcome of an IDELAY calibration sweep.
+
+    Attributes
+    ----------
+    taps:
+        The selected ``(a_tap, clk_tap)`` setting.
+    plan:
+        Every tap setting visited, in sweep order.
+    mean_readouts:
+        Mean readout observed at each visited setting.
+    best_step:
+        The winning consecutive-step readout difference (bits).
+    sensitivity:
+        Post-calibration readout sensitivity [bits/V] (finite
+        difference at the idle voltage), if the sensor exposes it.
+    """
+
+    taps: Tuple[int, int]
+    plan: List[Tuple[int, int]] = field(default_factory=list)
+    mean_readouts: List[float] = field(default_factory=list)
+    best_step: float = 0.0
+    sensitivity: Optional[float] = None
+
+
+def calibrate(
+    sensor,
+    idle_voltage: Optional[float] = None,
+    samples_per_step: int = 100,
+    max_steps: int = 64,
+    park_steps: int = 4,
+    voltage_source: Optional[Callable[[int], np.ndarray]] = None,
+    rng: RngLike = None,
+) -> CalibrationResult:
+    """Run the paper's tap-sweep calibration on a sensor.
+
+    Parameters
+    ----------
+    sensor:
+        A sensor exposing ``tap_plan``, ``set_taps`` and
+        ``sample_readouts`` (i.e. :class:`~repro.core.leaky_dsp.LeakyDSP`
+        or the TDC baseline).
+    idle_voltage:
+        Supply voltage during calibration; defaults to the nominal
+        supply.  Ignored when ``voltage_source`` is given.
+    samples_per_step:
+        Readouts averaged per tap setting (the paper averages readout
+        batches the same way).
+    max_steps:
+        Upper bound on visited tap settings (IDELAYE3 has 512 taps; the
+        sweep subsamples).
+    park_steps:
+        How many sweep steps above the steepest point to park the
+        operating point — droop only lowers readouts, so parking
+        up-phase of the peak trades a little gain for dynamic range.
+    voltage_source:
+        Optional callable ``n -> (n,) voltages`` supplying the actual
+        (noisy) supply seen during calibration.
+    rng:
+        Randomness source.
+
+    Returns
+    -------
+    CalibrationResult
+        The chosen taps (already programmed into the sensor).
+
+    Raises
+    ------
+    CalibrationError
+        If no tap step produces a usable readout change (the
+        settle-time distribution is outside the reachable phase window —
+        cannot happen for a correctly built LeakyDSP, but can for
+        degenerate configurations).
+    """
+    rng = make_rng(rng)
+    if idle_voltage is None:
+        idle_voltage = sensor.constants.v_nominal
+    if voltage_source is None:
+        def voltage_source(n: int) -> np.ndarray:  # noqa: D401 - closure
+            return np.full(n, idle_voltage)
+
+    plan = sensor.tap_plan(max_steps=max_steps)
+    if len(plan) < 2:
+        raise CalibrationError("tap plan too short to calibrate")
+
+    means: List[float] = []
+    for a_tap, clk_tap in plan:
+        sensor.set_taps(a_tap, clk_tap)
+        volts = np.asarray(voltage_source(samples_per_step), dtype=float)
+        readouts = sensor.sample_readouts(volts, rng=rng, method="exact")
+        means.append(float(np.mean(readouts)))
+
+    diffs = np.abs(np.diff(means))
+    best_step = float(diffs.max())
+    if best_step < MIN_USABLE_STEP:
+        raise CalibrationError(
+            f"calibration sweep found no usable edge (best consecutive "
+            f"readout change {best_step:.3f} bits)"
+        )
+    # Smooth over three adjacent steps so per-bit process-variation
+    # lumps do not hijack the peak, then take the middle of the
+    # near-maximal plateau (for a uniform ladder like the TDC every
+    # step ties, and the middle keeps headroom on both sides).
+    smoothed = np.convolve(diffs, np.ones(3) / 3.0, mode="same")
+    candidates = np.flatnonzero(smoothed >= 0.9 * smoothed.max())
+    peak = int(candidates[len(candidates) // 2])
+    # Park a few steps up-phase of the steepest point: supply droop only
+    # ever *lowers* the readout, so starting ~1 sigma above the density
+    # peak buys dynamic range while keeping near-peak gain.
+    chosen = min(peak + park_steps, len(plan) - 1)
+    taps = plan[chosen]
+    sensor.set_taps(*taps)
+
+    sensitivity = None
+    if hasattr(sensor, "sensitivity"):
+        sensitivity = float(sensor.sensitivity(idle_voltage))
+    return CalibrationResult(
+        taps=taps,
+        plan=plan,
+        mean_readouts=means,
+        best_step=best_step,
+        sensitivity=sensitivity,
+    )

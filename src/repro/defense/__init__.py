@@ -1,0 +1,14 @@
+"""Provider-side countermeasures discussed in Section V.
+
+* :mod:`repro.defense.checker` — bitstream scrutiny: the structural
+  rules cloud providers enforce today (combinational loops, TDC
+  signatures) plus the paper's *proposed* DSP rules that would catch
+  LeakyDSP.
+* :mod:`repro.defense.fence` — active-fence noise injection and its
+  effect on attack quality.
+"""
+
+from repro.defense.checker import BitstreamChecker, Finding
+from repro.defense.fence import ActiveFence
+
+__all__ = ["BitstreamChecker", "Finding", "ActiveFence"]

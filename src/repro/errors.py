@@ -1,0 +1,49 @@
+"""Exception hierarchy for the LeakyDSP reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so that callers
+can catch the whole family with a single handler while still being able
+to distinguish configuration problems (bad primitive attributes, illegal
+placements) from runtime problems (calibration failure, attack failure).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was configured with invalid or inconsistent parameters."""
+
+
+class PrimitiveConfigError(ConfigurationError):
+    """A vendor primitive (DSP48, IDELAY, ...) was given an illegal
+    attribute value or an attribute combination the silicon does not
+    support."""
+
+
+class NetlistError(ReproError):
+    """Structural netlist inconsistency (dangling net, duplicate cell,
+    port mismatch, ...)."""
+
+
+class PlacementError(ReproError):
+    """A cell could not be legally placed (no free compatible site,
+    Pblock violation, out-of-grid coordinates, ...)."""
+
+
+class CalibrationError(ReproError):
+    """Sensor calibration could not find a usable operating point."""
+
+
+class AcquisitionError(ReproError):
+    """Trace acquisition failed (no trigger, shape mismatch, ...)."""
+
+
+class AttackError(ReproError):
+    """A side-channel attack could not be carried out as requested."""
+
+
+class CovertChannelError(ReproError):
+    """Covert-channel transmission could not be decoded as requested."""

@@ -1,0 +1,35 @@
+"""Simulated FPGA substrate: device grids, vendor primitives, netlists,
+placement and pseudo-bitstreams.
+
+This package stands in for the physical Basys3 / ALINX AXU3EGB boards and
+the Vivado toolchain used by the paper.  It models FPGAs at the level the
+attack actually lives at: hand-instantiated vendor primitives with
+validated configurations, placed onto a two-dimensional site grid with
+clock regions and Pblock constraints.
+"""
+
+from repro.fpga.device import (
+    ClockRegion,
+    DeviceModel,
+    Site,
+    SiteType,
+    xc7a35t,
+    zu3eg,
+)
+from repro.fpga.netlist import Cell, Net, Netlist
+from repro.fpga.placement import Pblock, Placement, Placer
+
+__all__ = [
+    "ClockRegion",
+    "DeviceModel",
+    "Site",
+    "SiteType",
+    "xc7a35t",
+    "zu3eg",
+    "Cell",
+    "Net",
+    "Netlist",
+    "Pblock",
+    "Placement",
+    "Placer",
+]

@@ -1,0 +1,122 @@
+"""ASCII floorplan rendering.
+
+The paper communicates its placement stories through die maps (Fig. 4's
+six regions, Fig. 5(a)'s color-graded placements).  This module renders
+the same views as text: the device grid downsampled to a character
+raster, with column types, clock-region boundaries, Pblock outlines and
+placed designs overlaid.  Used by the examples and invaluable when
+debugging placement constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.fpga.device import DeviceModel, SiteType
+from repro.fpga.placement import Pblock, Placement
+
+#: Character for each column type in the background raster.
+COLUMN_GLYPHS = {
+    SiteType.SLICE: ".",
+    SiteType.DSP: "D",
+    SiteType.BRAM: "B",
+    SiteType.IO: "|",
+}
+
+
+class Floorplan:
+    """A character raster over a device.
+
+    Parameters
+    ----------
+    device:
+        The device to draw.
+    width, height:
+        Raster size in characters; the die is downsampled onto it.
+        Defaults keep roughly one character per two tiles horizontally.
+    """
+
+    def __init__(
+        self,
+        device: DeviceModel,
+        width: Optional[int] = None,
+        height: Optional[int] = None,
+    ) -> None:
+        self.device = device
+        self.width = width or device.width
+        self.height = height or max(10, device.height // 5)
+        if self.width < 4 or self.height < 4:
+            raise ConfigurationError("floorplan raster too small to draw")
+        self._grid: List[List[str]] = [
+            [" "] * self.width for _ in range(self.height)
+        ]
+        self._draw_background()
+
+    # ------------------------------------------------------------------
+    def _to_raster(self, x: float, y: float) -> Tuple[int, int]:
+        cx = int(x / self.device.width * (self.width - 1))
+        # Row 0 is the TOP of the drawing; die y grows upward.
+        cy = self.height - 1 - int(y / self.device.height * (self.height - 1))
+        return (min(max(cx, 0), self.width - 1), min(max(cy, 0), self.height - 1))
+
+    def _draw_background(self) -> None:
+        for cx in range(self.width):
+            die_x = int(cx / (self.width - 1) * (self.device.width - 1))
+            glyph = COLUMN_GLYPHS[self.device._column_kind(die_x)]
+            for cy in range(self.height):
+                self._grid[cy][cx] = glyph
+        # Clock-region boundaries as horizontal rules.
+        for region in self.device.clock_regions:
+            if region.y0 == 0:
+                continue
+            _cx, cy = self._to_raster(0, region.y0)
+            for cx in range(self.width):
+                if self._grid[cy][cx] == ".":
+                    self._grid[cy][cx] = "-"
+
+    # ------------------------------------------------------------------
+    def draw_pblock(self, pblock: Pblock, label: Optional[str] = None) -> None:
+        """Outline a Pblock with ``#`` and drop a label inside."""
+        x0, y0 = self._to_raster(pblock.x0, pblock.y0)
+        x1, y1 = self._to_raster(pblock.x1, pblock.y1)
+        top, bottom = min(y0, y1), max(y0, y1)
+        left, right = min(x0, x1), max(x0, x1)
+        for cx in range(left, right + 1):
+            self._grid[top][cx] = "#"
+            self._grid[bottom][cx] = "#"
+        for cy in range(top, bottom + 1):
+            self._grid[cy][left] = "#"
+            self._grid[cy][right] = "#"
+        text = label if label is not None else pblock.name
+        self._write_text(left + 1, top + 1, text[: max(0, right - left - 1)])
+
+    def draw_placement(self, placement: Placement, glyph: str = "*") -> None:
+        """Mark every placed cell's site."""
+        if len(glyph) != 1:
+            raise ConfigurationError("placement glyph must be one character")
+        for site in placement.assignment.values():
+            cx, cy = self._to_raster(site.x, site.y)
+            self._grid[cy][cx] = glyph
+
+    def draw_marker(self, x: float, y: float, glyph: str = "X") -> None:
+        """Mark one die position."""
+        if len(glyph) != 1:
+            raise ConfigurationError("marker glyph must be one character")
+        cx, cy = self._to_raster(x, y)
+        self._grid[cy][cx] = glyph
+
+    def _write_text(self, cx: int, cy: int, text: str) -> None:
+        for i, ch in enumerate(text):
+            if 0 <= cx + i < self.width and 0 <= cy < self.height:
+                self._grid[cy][cx + i] = ch
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The floorplan as a multi-line string (top row = die top)."""
+        body = "\n".join("".join(row) for row in self._grid)
+        legend = (
+            f"{self.device.name}: . slice  D dsp  B bram  | io  "
+            f"- region edge  # pblock"
+        )
+        return body + "\n" + legend

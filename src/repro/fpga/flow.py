@@ -1,0 +1,110 @@
+"""The implementation flow: the library's stand-in for Vivado.
+
+``synthesize -> place -> route -> analyze timing -> write bitstream``
+as one call, returning every intermediate artifact.  The experiments
+use the pieces directly, but examples and the defense study go through
+the flow, exactly like a tenant submitting a design to a cloud
+provider would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import NetlistError
+from repro.fpga.bitstream import Bitstream, generate_bitstream
+from repro.fpga.device import DeviceModel
+from repro.fpga.netlist import Netlist
+from repro.fpga.placement import Pblock, Placement, Placer
+from repro.fpga.routing import Router, Routing
+from repro.timing.sampling import ClockSpec
+from repro.timing.sta import TimingAnalyzer, TimingReport
+
+
+@dataclass
+class FlowResult:
+    """Every artifact of one implementation run."""
+
+    netlist: Netlist
+    placement: Placement
+    routing: Routing
+    bitstream: Bitstream
+    timing: Optional[TimingReport]
+    log: List[str] = field(default_factory=list)
+
+    @property
+    def timing_met(self) -> bool:
+        """Whether the declared clock constraint was met (True when no
+        constraint was given)."""
+        return self.timing is None or self.timing.passes
+
+
+class ImplementationFlow:
+    """A miniature place-and-route flow for one device.
+
+    Parameters
+    ----------
+    device:
+        Target device.
+    placer:
+        Optional shared placer (multi-tenant occupancy); a fresh one is
+        created otherwise.
+    """
+
+    def __init__(self, device: DeviceModel, placer: Optional[Placer] = None) -> None:
+        self.device = device
+        self.placer = placer or Placer(device)
+        self.router = Router(device)
+
+    def run(
+        self,
+        netlist: Netlist,
+        pblock: Optional[Pblock] = None,
+        clock: Optional[ClockSpec] = None,
+    ) -> FlowResult:
+        """Implement a netlist end to end.
+
+        Parameters
+        ----------
+        netlist:
+            The design (validated as the "synthesis" stage).
+        pblock:
+            Optional placement constraint.
+        clock:
+            The *declared* clock constraint for timing analysis; when
+            omitted, no timing is run (the bypass the paper describes —
+            providers can only check the constraints tenants declare).
+        """
+        log = [f"synth: {len(netlist.cells)} cells, {len(netlist.nets)} nets"]
+        netlist.validate()
+
+        placement = self.placer.place(netlist, pblock=pblock)
+        log.append(f"place: {len(placement)} cells placed")
+
+        routing = self.router.route(netlist, placement)
+        log.append(
+            f"route: {len(routing.nets)} nets, "
+            f"wirelength {routing.total_wirelength()}, "
+            f"utilization {routing.utilization():.1%}"
+        )
+
+        timing = None
+        if clock is not None:
+            timing = TimingAnalyzer(netlist, placement, routing).analyze(clock)
+            status = "MET" if timing.passes else "VIOLATED"
+            log.append(
+                f"timing @ {clock.frequency/1e6:.0f} MHz: {status} "
+                f"(WNS {timing.worst_slack*1e9:+.2f} ns)"
+            )
+
+        bitstream = generate_bitstream(netlist, placement)
+        log.append(f"bitgen: {len(bitstream.frames)} frames")
+        return FlowResult(
+            netlist=netlist,
+            placement=placement,
+            routing=routing,
+            bitstream=bitstream,
+            timing=timing,
+            log=log,
+        )

@@ -1,0 +1,25 @@
+"""Power delivery network (PDN) models.
+
+The physical medium of every attack in the paper is the FPGA's shared
+power delivery network: switching current drawn by one tenant's circuit
+produces transient voltage droop visible to every other tenant.  This
+package provides two models of that medium:
+
+* :mod:`repro.pdn.mesh` — an RC-mesh reference solver (accurate, slow),
+  used for validation and for calibrating the surrogate;
+* :mod:`repro.pdn.coupling` — a fast spatial-coupling surrogate used for
+  bulk trace generation (millions of sensor samples);
+* :mod:`repro.pdn.noise` — measurement and supply noise models.
+"""
+
+from repro.pdn.coupling import CouplingModel, LoadSite, REGION_SUPPLY_FACTORS
+from repro.pdn.mesh import PDNMesh
+from repro.pdn.noise import NoiseModel
+
+__all__ = [
+    "CouplingModel",
+    "LoadSite",
+    "REGION_SUPPLY_FACTORS",
+    "PDNMesh",
+    "NoiseModel",
+]

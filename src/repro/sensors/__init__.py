@@ -1,0 +1,18 @@
+"""Baseline on-chip sensors the paper compares against.
+
+* :class:`~repro.sensors.tdc.TDC` — the time-to-digital converter of
+  Glamocanin et al. [11], the most-studied voltage sensor and the
+  paper's explicit baseline in Fig. 3/4 and Table I.
+* :class:`~repro.sensors.ro.RingOscillatorSensor` — the classic
+  combinational-loop sensor, included because the defense study
+  (Section V) needs a design that bitstream checks *do* catch.
+* :class:`~repro.sensors.rds.RDS` — the routing-delay sensor (CHES
+  2023), the state-of-the-art fabric sensor that, like LeakyDSP,
+  evades today's structural checks.
+"""
+
+from repro.sensors.rds import RDS
+from repro.sensors.ro import RingOscillatorSensor
+from repro.sensors.tdc import TDC
+
+__all__ = ["RDS", "RingOscillatorSensor", "TDC"]

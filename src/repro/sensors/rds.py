@@ -1,0 +1,224 @@
+"""The RDS routing-delay sensor (Spielmann et al., CHES 2023 — [29]).
+
+RDS abuses *routing* delay instead of carry chains or DSP datapaths: a
+launch register drives a fan-out of long routes, each terminated by a
+capture flip-flop placed progressively farther away.  The per-route
+wire delays form the arrival-time ladder; supply droop stretches them
+all, moving the boundary between routes that make the capture edge and
+routes that miss it.
+
+The paper cites RDS as the state-of-the-art fabric sensor that evades
+today's checkers (no combinational loop, no carry chain) — the same
+evasion argument LeakyDSP makes for DSP frames — so the defense study
+includes it.  Unlike LeakyDSP/TDC, the arrival ladder here is produced
+by the *router*: the sensor builds its netlist, gets placed, and then
+derives its arrival times from the actual routed wirelengths, which is
+why :meth:`place` must run before the sensor can be sampled.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import DEFAULT_CONSTANTS, PhysicalConstants, RngLike, make_rng
+from repro.core.sensor import VoltageSensor
+from repro.errors import ConfigurationError
+from repro.fpga.device import DeviceModel, xc7a35t
+from repro.fpga.netlist import Netlist
+from repro.fpga.placement import Pblock, Placement, Placer
+from repro.fpga.primitives import FDRE, idelay_for_family
+from repro.fpga.routing import Router
+from repro.timing.delay import delay_scale
+from repro.timing.sampling import ClockSpec, capture_probability
+
+#: Per-route random extra wire jitter as a fraction of one tile delay.
+ROUTE_JITTER_FRACTION = 0.5
+
+
+class RDS(VoltageSensor):
+    """A routing-delay sensor.
+
+    Parameters
+    ----------
+    device:
+        Target device.
+    n_routes:
+        Capture flip-flops (= output width; the CHES'23 design uses a
+        few dozen).
+    clock:
+        Sampling clock.
+    constants:
+        Physical constants.
+    seed:
+        Process variation of the route delays.
+    name:
+        Instance name.
+    """
+
+    def __init__(
+        self,
+        device: Optional[DeviceModel] = None,
+        n_routes: int = 32,
+        clock: ClockSpec = ClockSpec(300e6),
+        constants: PhysicalConstants = DEFAULT_CONSTANTS,
+        seed: RngLike = 0,
+        name: str = "rds",
+    ) -> None:
+        if n_routes < 2:
+            raise ConfigurationError("RDS needs at least two routes")
+        self.device = device or xc7a35t()
+        self.n_routes = n_routes
+        self.clock = clock
+        super().__init__(name, n_routes, constants)
+        self._seed_rng = make_rng(seed)
+        self._netlist = self._build_netlist()
+        self._idelay_a = self._netlist.cells[f"{name}_idelay_a"].primitive
+        self._idelay_clk = self._netlist.cells[f"{name}_idelay_clk"].primitive
+        self._arrival_nominal: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def _build_netlist(self) -> Netlist:
+        nl = Netlist(self.name)
+        nl.add_port("clk_in", "in")
+        nl.add_port("readout", "out")
+        family = self.device.idelay_family
+        idelay_a = idelay_for_family(family, f"{self.name}_idelay_a", IDELAY_TYPE="VAR_LOAD")
+        idelay_clk = idelay_for_family(family, f"{self.name}_idelay_clk", IDELAY_TYPE="VAR_LOAD")
+        nl.add_cell(idelay_a)
+        nl.add_cell(idelay_clk)
+        launch = FDRE(f"{self.name}_launch")
+        nl.add_cell(launch)
+        captures: List[str] = []
+        for i in range(self.n_routes):
+            ff = FDRE(f"{self.name}_cap{i:03d}")
+            nl.add_cell(ff)
+            captures.append(ff.name)
+        nl.connect(f"{self.name}_a_raw", ("clk_in", "O"), [(idelay_a.name, "IDATAIN")])
+        nl.connect(
+            f"{self.name}_launch_clk", (idelay_a.name, "DATAOUT"), [(launch.name, "C")]
+        )
+        # One long route from the launch Q to every capture D.
+        for i, cap in enumerate(captures):
+            nl.connect(f"{self.name}_route{i:03d}", (launch.name, "Q"), [(cap, "D")])
+        nl.connect(f"{self.name}_clk_raw", ("clk_in", "O"), [(idelay_clk.name, "IDATAIN")])
+        nl.connect(
+            f"{self.name}_cap_clk",
+            (idelay_clk.name, "DATAOUT"),
+            [(cap, "C") for cap in captures],
+        )
+        nl.connect(f"{self.name}_q", (captures[-1], "Q"), [("readout", "I")])
+        nl.validate()
+        return nl
+
+    def netlist(self) -> Netlist:
+        """The sensor's structural netlist: flip-flops and wires only —
+        nothing today's bitstream rules key on."""
+        return self._netlist
+
+    # ------------------------------------------------------------------
+    def place(self, placer: Placer, pblock: Optional[Pblock] = None) -> Placement:
+        """Place with deliberate spread, route, and derive the
+        arrival-time ladder from the routed wirelengths.
+
+        The capture FFs are anchored at staggered distances from the
+        launch register so consecutive routes differ by roughly one
+        tile of wire delay — the RDS paper's hand-routed ladder.
+        """
+        pblock = pblock or Pblock.whole_device(placer.device)
+        # Launch at the Pblock's corner; captures staggered diagonally.
+        sub_all = Netlist(f"{self.name}_ph")
+        placement = Placement(placer.device)
+        corner = (pblock.x0, pblock.y0)
+
+        launch_nl = Netlist(f"{self.name}_launch_part")
+        launch_nl.add_cell(self._netlist.cells[f"{self.name}_launch"].primitive)
+        launch_nl.add_cell(self._idelay_a)
+        launch_nl.add_cell(self._idelay_clk)
+        placed = placer.place(launch_nl, pblock=pblock, anchor=corner)
+        placement.assignment.update(placed.assignment)
+
+        span_x = max(1, pblock.x1 - pblock.x0)
+        span_y = max(1, pblock.y1 - pblock.y0)
+        for i in range(self.n_routes):
+            frac = (i + 1) / self.n_routes
+            anchor = (
+                pblock.x0 + frac * span_x * 0.8,
+                pblock.y0 + frac * span_y * 0.8,
+            )
+            part = Netlist(f"{self.name}_cap_part{i}")
+            part.add_cell(self._netlist.cells[f"{self.name}_cap{i:03d}"].primitive)
+            placed = placer.place(part, pblock=pblock, anchor=anchor)
+            placement.assignment.update(placed.assignment)
+        del sub_all
+
+        routing = Router(placer.device).route(self._netlist, placement)
+        from repro.timing.paths import ROUTING_DELAY_PER_TILE
+
+        direct = np.empty(self.n_routes)
+        for i in range(self.n_routes):
+            net = routing.net(f"{self.name}_route{i:03d}")
+            direct[i] = net.delay_to(f"{self.name}_cap{i:03d}")
+        # The real RDS routes each net through deliberate switchbox
+        # detours until its delay approaches one sampling period; the
+        # direct Manhattan routes are far too fast.  Pad each route
+        # with the detour tiles needed to hit a ladder spanning
+        # ~[0.8, 1.2] periods (centred on the capture edge).
+        period = self.clock.period
+        targets = period * (0.8 + 0.4 * (np.arange(self.n_routes) + 1) / self.n_routes)
+        detour_tiles = np.maximum(
+            0, np.round((targets - direct) / ROUTING_DELAY_PER_TILE)
+        )
+        self.detour_tiles = detour_tiles.astype(int)
+        arrivals = direct + detour_tiles * ROUTING_DELAY_PER_TILE
+        jitter = self._seed_rng.normal(
+            0.0,
+            ROUTE_JITTER_FRACTION * ROUTING_DELAY_PER_TILE,
+            size=self.n_routes,
+        )
+        self._arrival_nominal = arrivals + jitter
+        self.position = placement.centroid()
+        self.invalidate_table()
+        return placement
+
+    # ------------------------------------------------------------------
+    @property
+    def taps(self) -> Tuple[int, int]:
+        """Current ``(IDELAY_A, IDELAY_CLK)`` tap settings."""
+        return (self._idelay_a.tap, self._idelay_clk.tap)
+
+    def set_taps(self, a_tap: int, clk_tap: int) -> None:
+        """Program both IDELAYs."""
+        self._idelay_a.load_tap(a_tap)
+        self._idelay_clk.load_tap(clk_tap)
+        self.invalidate_table()
+
+    @property
+    def num_tap_settings(self) -> int:
+        """Taps available on each IDELAY."""
+        return self._idelay_a.NUM_TAPS
+
+    def tap_plan(self, max_steps: int = 64) -> List[Tuple[int, int]]:
+        """Monotone phase sweep (same scheme as the other sensors)."""
+        n = self.num_tap_settings
+        settings = [(a, 0) for a in range(n - 1, 0, -1)] + [(0, c) for c in range(n)]
+        stride = max(1, -(-len(settings) // max_steps))
+        plan = settings[::stride]
+        if plan[-1] != settings[-1]:
+            plan.append(settings[-1])
+        return plan
+
+    def bit_probabilities(self, voltages: np.ndarray) -> np.ndarray:
+        """Route-made-it probabilities against the capture edge one
+        period after launch."""
+        if self._arrival_nominal is None:
+            raise ConfigurationError(
+                f"RDS {self.name!r} must be placed before sampling: its "
+                "arrival ladder comes from routed wirelengths"
+            )
+        v = np.atleast_1d(np.asarray(voltages, dtype=float))
+        scale = np.asarray(delay_scale(v, self.constants), dtype=float)
+        tau = self._arrival_nominal[None, :] * scale[:, None] + self._idelay_a.delay()
+        phi = self.clock.period + self._idelay_clk.delay()
+        return capture_probability(tau, phi, self.constants.metastability_window)

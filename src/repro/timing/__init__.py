@@ -1,0 +1,24 @@
+"""Voltage-dependent timing models.
+
+The single silicon property every on-chip voltage sensor exploits is
+that CMOS propagation delay rises when the supply voltage droops.  This
+package provides the delay law (:mod:`repro.timing.delay`), static path
+delay extraction over netlists (:mod:`repro.timing.paths`) and the
+register capture / metastability model (:mod:`repro.timing.sampling`).
+"""
+
+from repro.timing.delay import delay_scale, delay_sensitivity, scaled_delay
+from repro.timing.paths import PATH_DELAYS, combinational_path_delay, dsp_chain_delay
+from repro.timing.sampling import ClockSpec, capture_probability, capture_bits
+
+__all__ = [
+    "delay_scale",
+    "delay_sensitivity",
+    "scaled_delay",
+    "PATH_DELAYS",
+    "combinational_path_delay",
+    "dsp_chain_delay",
+    "ClockSpec",
+    "capture_probability",
+    "capture_bits",
+]

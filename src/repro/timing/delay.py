@@ -1,0 +1,68 @@
+"""The delay-vs-voltage law.
+
+We use the classic alpha-power model of CMOS gate delay,
+
+``d(V) = d_nom * (V_nom / V) ** alpha``
+
+with ``alpha ~ 1.3`` for a 28 nm process operating well above threshold.
+Its only property the attack needs is a smooth, monotone increase of
+delay as the supply droops; the exponent sets the sensor gain and is one
+of the calibrated constants in :class:`repro.config.PhysicalConstants`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.config import DEFAULT_CONSTANTS, PhysicalConstants
+from repro.errors import ConfigurationError
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def delay_scale(
+    voltage: ArrayLike,
+    constants: PhysicalConstants = DEFAULT_CONSTANTS,
+) -> ArrayLike:
+    """Multiplicative delay scale factor at supply voltage ``voltage``.
+
+    Returns 1.0 at the nominal voltage, > 1 below it.  Vectorized over
+    numpy arrays.  Raises for non-positive voltages — the model (and the
+    silicon) has no meaning there.
+    """
+    v = np.asarray(voltage, dtype=float)
+    if np.any(v <= 0):
+        raise ConfigurationError("supply voltage must be positive")
+    scale = (constants.v_nominal / v) ** constants.alpha
+    if np.isscalar(voltage) or np.ndim(voltage) == 0:
+        return float(scale)
+    return scale
+
+
+def scaled_delay(
+    nominal_delay: float,
+    voltage: ArrayLike,
+    constants: PhysicalConstants = DEFAULT_CONSTANTS,
+) -> ArrayLike:
+    """Propagation delay [s] of a path with ``nominal_delay`` at supply
+    ``voltage``."""
+    if nominal_delay < 0:
+        raise ConfigurationError("nominal delay must be non-negative")
+    return nominal_delay * delay_scale(voltage, constants)
+
+
+def delay_sensitivity(
+    nominal_delay: float,
+    constants: PhysicalConstants = DEFAULT_CONSTANTS,
+) -> float:
+    """First-order delay change per volt of droop, evaluated at the
+    nominal operating point [s/V].
+
+    ``d d/dV |_{V=Vnom} = -alpha * d_nom / V_nom`` — the figure of merit
+    that makes a *longer* chain (larger ``d_nom``) a *more sensitive*
+    sensor, which is why LeakyDSP cascades DSP blocks and the TDC grows
+    its carry chain.
+    """
+    return -constants.alpha * nominal_delay / constants.v_nominal

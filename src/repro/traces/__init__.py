@@ -1,0 +1,23 @@
+"""Trace capture: the attacker-side acquisition harness and storage.
+
+In the paper, traces are LeakyDSP readouts streamed over UART, one
+record per sensor clock during an AES encryption, triggered by the
+start-encryption signal.  :class:`~repro.traces.store.TraceSet` is the
+container (with npz persistence) and
+:class:`~repro.traces.acquisition.AESTraceAcquisition` the harness that
+drives the victim, runs the PDN and sensor models and collects the
+readout matrix.
+"""
+
+from repro.traces.acquisition import AESTraceAcquisition, characterize_readouts
+from repro.traces.store import TraceSet
+from repro.traces.transport import AcquisitionPlan, CaptureBuffer, UartLink
+
+__all__ = [
+    "AESTraceAcquisition",
+    "characterize_readouts",
+    "TraceSet",
+    "AcquisitionPlan",
+    "CaptureBuffer",
+    "UartLink",
+]

@@ -1,0 +1,159 @@
+"""Readout transport: the UART/BRAM path that bounds acquisition rate.
+
+The paper's Basys3 setup streams LeakyDSP readouts to a laptop over
+UART.  That link, not the sensor, bounds the campaign: a 48-bit readout
+at 300 MS/s is 14.4 Gb/s of raw data against a UART's ~10 Mb/s, so the
+on-chip side buffers one triggered window per encryption into BRAM and
+drains it between triggers.  This module models that plumbing:
+
+* :class:`UartLink` — serial throughput with start/stop-bit framing;
+* :class:`CaptureBuffer` — the BRAM window buffer (depth limits how
+  many samples one trigger can record — the reason traces are windows
+  around the encryption, not continuous streams);
+* :class:`AcquisitionPlan` — end-to-end campaign cost: wall time per
+  trace and for the full campaign, the numbers that make "60 k traces"
+  a real-world effort rather than a free parameter.
+
+The covert-channel receiver's modest effective readout rate
+(:class:`repro.attacks.covert.CovertChannelConfig.readout_rate`) is the
+same bottleneck seen from the other side: on-chip averaging exists to
+fit the link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import AcquisitionError
+from repro.timing.sampling import ClockSpec
+
+#: Bits per UART frame per payload byte (8N1 framing).
+UART_FRAME_BITS = 10
+
+
+@dataclass(frozen=True)
+class UartLink:
+    """A serial link with 8N1 framing.
+
+    Parameters
+    ----------
+    baud:
+        Line rate [bit/s].  The Basys3's FT2232 bridge is reliable to
+        ~12 Mbaud; the classic default is 115200.
+    """
+
+    baud: float = 921_600.0
+
+    def __post_init__(self) -> None:
+        if self.baud <= 0:
+            raise AcquisitionError("baud rate must be positive")
+
+    @property
+    def payload_bytes_per_second(self) -> float:
+        """Net payload throughput after framing."""
+        return self.baud / UART_FRAME_BITS
+
+    def transfer_time(self, n_bytes: int) -> float:
+        """Seconds to move ``n_bytes`` of payload."""
+        if n_bytes < 0:
+            raise AcquisitionError("byte count must be non-negative")
+        return n_bytes / self.payload_bytes_per_second
+
+
+@dataclass(frozen=True)
+class CaptureBuffer:
+    """The on-chip BRAM window buffer.
+
+    Parameters
+    ----------
+    depth:
+        Samples one trigger can store (one BRAM36 holds 2048 x 18 bit;
+        a readout needs one byte after Hamming-weight compression, so a
+        single BRAM stores a 4096-sample window).
+    bytes_per_sample:
+        Stored record size; the paper's Hamming-weight readout fits one
+        byte.
+    """
+
+    depth: int = 4096
+    bytes_per_sample: int = 1
+
+    def __post_init__(self) -> None:
+        if self.depth < 1 or self.bytes_per_sample < 1:
+            raise AcquisitionError("buffer geometry must be positive")
+
+    def fits(self, n_samples: int) -> bool:
+        """Whether one trigger window fits the buffer."""
+        return 0 < n_samples <= self.depth
+
+    def window_bytes(self, n_samples: int) -> int:
+        """Payload bytes one window drains over the link."""
+        if not self.fits(n_samples):
+            raise AcquisitionError(
+                f"window of {n_samples} samples exceeds buffer depth {self.depth}"
+            )
+        return n_samples * self.bytes_per_sample
+
+
+@dataclass(frozen=True)
+class AcquisitionPlan:
+    """End-to-end campaign cost model.
+
+    Per trace: trigger + encryption (AES cycles at its clock) + window
+    capture (samples at the sensor clock) + UART drain + host-side
+    handshake.  Capture overlaps encryption; the drain dominates.
+    """
+
+    link: UartLink
+    buffer: CaptureBuffer
+    sensor_clock: ClockSpec
+    aes_clock: ClockSpec
+    window_samples: int
+    #: Fixed per-trace host/protocol overhead [s] (command, key/PT
+    #: transfer, OS latency); 200 us is typical of a tight UART loop.
+    handshake_time: float = 200e-6
+
+    def __post_init__(self) -> None:
+        if not self.buffer.fits(self.window_samples):
+            raise AcquisitionError(
+                f"window of {self.window_samples} samples exceeds the "
+                f"capture buffer ({self.buffer.depth})"
+            )
+        if self.handshake_time < 0:
+            raise AcquisitionError("handshake time must be non-negative")
+
+    @property
+    def capture_time(self) -> float:
+        """Seconds the trigger window spans on-chip."""
+        return self.window_samples * self.sensor_clock.period
+
+    @property
+    def drain_time(self) -> float:
+        """Seconds to move one window over the link."""
+        return self.link.transfer_time(self.buffer.window_bytes(self.window_samples))
+
+    @property
+    def time_per_trace(self) -> float:
+        """Wall seconds per collected trace."""
+        return self.capture_time + self.drain_time + self.handshake_time
+
+    @property
+    def traces_per_second(self) -> float:
+        """Campaign throughput."""
+        return 1.0 / self.time_per_trace
+
+    def campaign_time(self, n_traces: int) -> float:
+        """Wall seconds for a campaign of ``n_traces``."""
+        if n_traces < 0:
+            raise AcquisitionError("trace count must be non-negative")
+        return n_traces * self.time_per_trace
+
+    def describe(self, n_traces: int) -> str:
+        """Human-readable campaign summary."""
+        total = self.campaign_time(n_traces)
+        return (
+            f"{n_traces} traces x {self.window_samples} samples: "
+            f"{self.traces_per_second:.0f} traces/s, "
+            f"total {total:.1f} s ({total / 60:.1f} min)"
+        )

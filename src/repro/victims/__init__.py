@@ -1,0 +1,14 @@
+"""Victim circuits whose power draw the sensors observe.
+
+* :class:`~repro.victims.power_virus.PowerVirusBank` — banks of
+  ring-oscillator "power virus" instances with grouped enables, the
+  stimulus for the characterization experiments (Fig. 3/4) and the
+  covert-channel sender (Fig. 7).
+* :mod:`repro.victims.aes` — a bit-accurate, vectorized AES-128 core
+  with a round-register Hamming-distance power model, the target of the
+  key-extraction case study (Table I, Fig. 5, Fig. 6).
+"""
+
+from repro.victims.power_virus import PowerVirusBank
+
+__all__ = ["PowerVirusBank"]

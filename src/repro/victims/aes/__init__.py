@@ -1,0 +1,23 @@
+"""Bit-accurate AES-128 victim core with a hardware power model.
+
+The paper attacks the open-source AES-128 core of [1] (round-per-cycle,
+128-bit round register) running at 20-100 MHz on the Basys3.  This
+package reimplements that core functionally — vectorized over trace
+batches with numpy — and models its power draw as the Hamming distance
+of the 128-bit round-register transition each clock cycle, which is the
+leakage CPA exploits.
+"""
+
+from repro.victims.aes.core import AES128
+from repro.victims.aes.hw_model import AESHardwareModel
+from repro.victims.aes.key_schedule import expand_key, invert_key_schedule
+from repro.victims.aes.sbox import INV_SBOX, SBOX
+
+__all__ = [
+    "AES128",
+    "AESHardwareModel",
+    "expand_key",
+    "invert_key_schedule",
+    "INV_SBOX",
+    "SBOX",
+]

@@ -1,0 +1,144 @@
+"""Hamming-distance power model of the round-per-cycle AES core.
+
+Dynamic power in CMOS is drawn on signal transitions; for a registered
+datapath the dominant, data-dependent term is the number of round
+register bits that flip on each clock edge.  The model therefore emits,
+per AES clock cycle, a current
+
+``i(cycle) = base + per_bit * HD(reg[cycle-1], reg[cycle])``
+
+held for the duration of the cycle, which the PDN low-pass then smears
+(increasingly so at higher AES frequencies — the Fig. 6 effect).
+
+The register sequence comes from :meth:`repro.victims.aes.AES128.
+round_states`; the pre-load register value is the *previous* block's
+ciphertext, matching the paper's chained plaintext protocol (the next
+plaintext is the current ciphertext), which conveniently makes the load
+transition's Hamming distance a constant ``HW(k0)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config import DEFAULT_CONSTANTS, PhysicalConstants
+from repro.errors import ConfigurationError
+from repro.timing.sampling import ClockSpec
+from repro.victims.aes.core import AES128
+from repro.victims.aes.sbox import HW8
+
+
+class AESHardwareModel:
+    """Power model binding an AES core to clocks and currents.
+
+    Parameters
+    ----------
+    aes_clock:
+        The victim core's clock (the paper sweeps 20-100 MHz).
+    sensor_clock:
+        The attacker's sampling clock (300 MHz in the paper); the
+        current waveform is emitted at this rate.
+    constants:
+        Physical constants (per-bit and base currents).
+    """
+
+    def __init__(
+        self,
+        aes_clock: ClockSpec = ClockSpec(20e6),
+        sensor_clock: ClockSpec = ClockSpec(300e6),
+        constants: PhysicalConstants = DEFAULT_CONSTANTS,
+    ) -> None:
+        if sensor_clock.frequency < aes_clock.frequency:
+            raise ConfigurationError(
+                "the sensor must sample at least as fast as the AES clock"
+            )
+        self.aes_clock = aes_clock
+        self.sensor_clock = sensor_clock
+        self.constants = constants
+
+    @property
+    def samples_per_cycle(self) -> int:
+        """Sensor samples per AES clock cycle (rounded; exact for the
+        paper's 20/33.3/50/100 MHz settings against 300 MHz)."""
+        return max(1, int(round(self.sensor_clock.frequency / self.aes_clock.frequency)))
+
+    @property
+    def samples_per_block(self) -> int:
+        """Sensor samples spanning one full encryption."""
+        return AES128.CYCLES_PER_BLOCK * self.samples_per_cycle
+
+    # ------------------------------------------------------------------
+    def cycle_hamming_distances(
+        self,
+        aes: AES128,
+        plaintexts,
+        previous_final: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Per-cycle round-register Hamming distances, ``(n, 11)``.
+
+        Column 0 is the load transition (previous block's final state ->
+        ``AddRoundKey(pt, k0)``); columns 1..10 are the round
+        transitions.  ``previous_final`` defaults to the plaintexts
+        themselves (the chained-plaintext protocol).
+        """
+        states = aes.round_states(plaintexts)
+        n = states.shape[0]
+        if previous_final is None:
+            previous_final = states[:, 0] ^ aes.round_keys[0]  # = the plaintexts
+        previous_final = np.asarray(previous_final, dtype=np.uint8)
+        if previous_final.shape != (n, 16):
+            raise ConfigurationError(
+                f"previous_final must be (n, 16), got {previous_final.shape}"
+            )
+        hd = np.empty((n, AES128.CYCLES_PER_BLOCK), dtype=np.int64)
+        hd[:, 0] = HW8[previous_final ^ states[:, 0]].sum(axis=1)
+        flips = states[:, 1:] ^ states[:, :-1]
+        hd[:, 1:] = HW8[flips].sum(axis=2)
+        return hd
+
+    # ------------------------------------------------------------------
+    def current_waveform(
+        self,
+        hamming_distances: np.ndarray,
+        n_samples: Optional[int] = None,
+        lead_in_cycles: int = 1,
+    ) -> np.ndarray:
+        """Expand per-cycle HDs into a per-sensor-sample current array.
+
+        Parameters
+        ----------
+        hamming_distances:
+            ``(n, 11)`` from :meth:`cycle_hamming_distances`.
+        n_samples:
+            Output trace length in sensor samples; defaults to the
+            encryption span plus the lead-in.
+        lead_in_cycles:
+            Idle AES cycles before the trigger fires (the paper
+            triggers on the start-encryption signal; one cycle of
+            pre-trigger margin keeps the PDN filter warm-up out of the
+            leaky window).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n, n_samples)`` currents [A].
+        """
+        hd = np.asarray(hamming_distances, dtype=np.float64)
+        if hd.ndim != 2 or hd.shape[1] != AES128.CYCLES_PER_BLOCK:
+            raise ConfigurationError(
+                f"hamming_distances must be (n, {AES128.CYCLES_PER_BLOCK})"
+            )
+        spc = self.samples_per_cycle
+        if n_samples is None:
+            n_samples = (AES128.CYCLES_PER_BLOCK + lead_in_cycles + 1) * spc
+        c = self.constants
+        per_cycle = c.aes_base_current + c.aes_current_per_bit * hd
+        wave = np.repeat(per_cycle, spc, axis=1)
+        n = wave.shape[0]
+        out = np.full((n, n_samples), c.aes_base_current, dtype=np.float64)
+        start = lead_in_cycles * spc
+        stop = min(n_samples, start + wave.shape[1])
+        out[:, start:stop] = wave[:, : stop - start]
+        return out

@@ -1,0 +1,29 @@
+"""Shared fixtures: module-scoped device/board objects keep the suite
+fast (building site maps and placing 16k-cell viruses once, not per
+test)."""
+
+import numpy as np
+import pytest
+
+from repro.fpga.device import xc7a35t, zu3eg
+from repro.fpga.placement import Placer
+
+
+@pytest.fixture(scope="session")
+def basys3_device():
+    return xc7a35t()
+
+
+@pytest.fixture(scope="session")
+def zu3eg_device():
+    return zu3eg()
+
+
+@pytest.fixture()
+def placer(basys3_device):
+    return Placer(basys3_device)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

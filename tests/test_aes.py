@@ -1,0 +1,241 @@
+"""Tests for the AES-128 core: FIPS-197 vectors, structure and the
+key schedule (forward and inverse)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.victims.aes.core import (
+    AES128,
+    INV_SHIFT_ROWS_IDX,
+    SHIFT_ROWS_IDX,
+    mix_columns,
+    shift_rows,
+    sub_bytes,
+)
+from repro.victims.aes.key_schedule import expand_key, invert_key_schedule
+from repro.victims.aes.sbox import (
+    HW8,
+    INV_SBOX,
+    SBOX,
+    XTIME,
+    gf_inverse,
+    gf_mul,
+)
+
+#: FIPS-197 Appendix B example.
+FIPS_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+FIPS_PT = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+FIPS_CT = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+
+#: FIPS-197 Appendix C.1 (all-zero-ish example vectors).
+C1_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+C1_PT = bytes.fromhex("00112233445566778899aabbccddeeff")
+C1_CT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+
+class TestGF:
+    def test_known_products(self):
+        assert gf_mul(0x57, 0x83) == 0xC1  # FIPS-197 example
+        assert gf_mul(0x57, 0x13) == 0xFE
+
+    def test_identity(self):
+        for x in (1, 0x53, 0xFF):
+            assert gf_mul(x, 1) == x
+
+    def test_inverse(self):
+        for x in range(1, 256):
+            assert gf_mul(x, gf_inverse(x)) == 1
+
+    def test_zero_inverse_is_zero(self):
+        assert gf_inverse(0) == 0
+
+    def test_xtime_table(self):
+        assert XTIME[0x57] == 0xAE
+        assert XTIME[0xAE] == 0x47
+
+
+class TestSbox:
+    def test_fips_values(self):
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_is_permutation(self):
+        assert len(set(SBOX.tolist())) == 256
+
+    def test_inverse_sbox(self):
+        x = np.arange(256, dtype=np.uint8)
+        np.testing.assert_array_equal(INV_SBOX[SBOX[x]], x)
+
+    def test_no_fixed_points(self):
+        assert not np.any(SBOX == np.arange(256))
+
+    def test_hw_table(self):
+        assert HW8[0] == 0
+        assert HW8[0xFF] == 8
+        assert HW8[0b1010_1010] == 4
+
+
+class TestRoundFunctions:
+    def test_shift_rows_is_permutation(self):
+        assert sorted(SHIFT_ROWS_IDX.tolist()) == list(range(16))
+
+    def test_inv_shift_rows(self):
+        state = np.arange(16, dtype=np.uint8)[None, :]
+        np.testing.assert_array_equal(
+            shift_rows(state)[0][INV_SHIFT_ROWS_IDX.argsort()].shape, (16,)
+        )
+        roundtrip = shift_rows(state)[0][np.argsort(SHIFT_ROWS_IDX)]
+        np.testing.assert_array_equal(roundtrip, state[0])
+
+    def test_row0_unmoved(self):
+        state = np.arange(16, dtype=np.uint8)[None, :]
+        out = shift_rows(state)[0]
+        for c in range(4):
+            assert out[4 * c + 0] in (0, 4, 8, 12)
+
+    def test_mix_columns_fips_example(self):
+        # FIPS-197 Section 5.1.3 example column.
+        col = np.array([0xD4, 0xBF, 0x5D, 0x30], dtype=np.uint8)
+        state = np.tile(col, 4)[None, :]
+        out = mix_columns(state)[0][:4]
+        np.testing.assert_array_equal(
+            out, np.array([0x04, 0x66, 0x81, 0xE5], dtype=np.uint8)
+        )
+
+    def test_sub_bytes_vectorized(self):
+        state = np.zeros((3, 16), dtype=np.uint8)
+        np.testing.assert_array_equal(sub_bytes(state), np.full((3, 16), 0x63))
+
+
+class TestEncryption:
+    def test_fips_appendix_b(self):
+        aes = AES128(FIPS_KEY)
+        assert aes.encrypt(FIPS_PT) == FIPS_CT
+
+    def test_fips_appendix_c1(self):
+        aes = AES128(C1_KEY)
+        assert aes.encrypt(C1_PT) == C1_CT
+
+    def test_batch_matches_scalar(self):
+        aes = AES128(FIPS_KEY)
+        rng = np.random.default_rng(0)
+        pts = rng.integers(0, 256, (20, 16), dtype=np.uint8)
+        batch = aes.encrypt_blocks(pts)
+        for i in range(20):
+            assert bytes(batch[i]) == aes.encrypt(pts[i])
+
+    def test_round_states_ends_in_ciphertext(self):
+        aes = AES128(FIPS_KEY)
+        states = aes.round_states(FIPS_PT)
+        assert bytes(states[0, 10]) == FIPS_CT
+
+    def test_round_states_start_is_whitened(self):
+        aes = AES128(FIPS_KEY)
+        states = aes.round_states(FIPS_PT)
+        expected = np.frombuffer(FIPS_PT, dtype=np.uint8) ^ aes.round_keys[0]
+        np.testing.assert_array_equal(states[0, 0], expected)
+
+    def test_round_states_shape(self):
+        aes = AES128(FIPS_KEY)
+        assert aes.round_states(np.zeros((5, 16), dtype=np.uint8)).shape == (5, 11, 16)
+
+    def test_bad_block_shape_rejected(self):
+        aes = AES128(FIPS_KEY)
+        with pytest.raises(ConfigurationError):
+            aes.encrypt_blocks(np.zeros((2, 15), dtype=np.uint8))
+
+    def test_last_round_shiftrows_identity(self):
+        aes = AES128(FIPS_KEY)
+        pts = np.random.default_rng(1).integers(0, 256, (8, 16), dtype=np.uint8)
+        states = aes.round_states(pts)
+        s9, ct = states[:, 9], states[:, 10]
+        predicted = SBOX[s9[:, SHIFT_ROWS_IDX]] ^ aes.round_keys[10]
+        np.testing.assert_array_equal(predicted, ct)
+
+
+class TestDecryption:
+    def test_fips_appendix_b_roundtrip(self):
+        aes = AES128(FIPS_KEY)
+        assert aes.decrypt(FIPS_CT) == FIPS_PT
+
+    def test_fips_appendix_c1(self):
+        aes = AES128(C1_KEY)
+        assert aes.decrypt(C1_CT) == C1_PT
+
+    def test_roundtrip_random_blocks(self):
+        aes = AES128(FIPS_KEY)
+        rng = np.random.default_rng(7)
+        pts = rng.integers(0, 256, (50, 16), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            aes.decrypt_blocks(aes.encrypt_blocks(pts)), pts
+        )
+
+    def test_decrypt_batch_matches_scalar(self):
+        aes = AES128(C1_KEY)
+        rng = np.random.default_rng(8)
+        cts = rng.integers(0, 256, (10, 16), dtype=np.uint8)
+        batch = aes.decrypt_blocks(cts)
+        for i in range(10):
+            assert bytes(batch[i]) == aes.decrypt(cts[i])
+
+    def test_inv_mix_columns_inverts(self):
+        from repro.victims.aes.core import inv_mix_columns
+
+        rng = np.random.default_rng(9)
+        state = rng.integers(0, 256, (5, 16), dtype=np.uint8)
+        np.testing.assert_array_equal(inv_mix_columns(mix_columns(state)), state)
+
+    def test_inv_shift_rows_inverts(self):
+        from repro.victims.aes.core import inv_shift_rows
+
+        state = np.arange(16, dtype=np.uint8)[None, :]
+        np.testing.assert_array_equal(inv_shift_rows(shift_rows(state)), state)
+
+    def test_inv_sub_bytes_inverts(self):
+        from repro.victims.aes.core import inv_sub_bytes
+
+        state = np.arange(16, dtype=np.uint8)[None, :]
+        np.testing.assert_array_equal(inv_sub_bytes(sub_bytes(state)), state)
+
+
+class TestKeySchedule:
+    def test_fips_round_keys(self):
+        keys = expand_key(FIPS_KEY)
+        # FIPS-197 Appendix A.1: w4..w7 of the expanded key.
+        assert bytes(keys[1][:4]) == bytes.fromhex("a0fafe17")
+        # Final round key (w40..w43).
+        assert bytes(keys[10]) == bytes.fromhex("d014f9a8c9ee2589e13f0cc8b6630ca6")
+
+    def test_shape(self):
+        assert expand_key(FIPS_KEY).shape == (11, 16)
+
+    def test_bad_key_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expand_key(b"short")
+
+    def test_invert_from_last_round(self):
+        keys = expand_key(FIPS_KEY)
+        master = invert_key_schedule(keys[10], round_index=10)
+        assert bytes(master) == FIPS_KEY
+
+    def test_invert_from_middle_round(self):
+        keys = expand_key(FIPS_KEY)
+        master = invert_key_schedule(keys[4], round_index=4)
+        assert bytes(master) == FIPS_KEY
+
+    def test_invert_round_zero_is_identity(self):
+        master = invert_key_schedule(np.frombuffer(FIPS_KEY, np.uint8), 0)
+        assert bytes(master) == FIPS_KEY
+
+    def test_invert_random_keys_roundtrip(self):
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            key = rng.integers(0, 256, 16, dtype=np.uint8)
+            k10 = expand_key(key)[10]
+            np.testing.assert_array_equal(invert_key_schedule(k10), key)
+
+    def test_bad_round_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            invert_key_schedule(np.zeros(16, dtype=np.uint8), 11)

@@ -1,0 +1,81 @@
+"""Tests for the IDELAY tap-sweep calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import CalibrationResult, calibrate
+from repro.core.leaky_dsp import LeakyDSP
+from repro.errors import CalibrationError
+from repro.sensors.tdc import TDC
+
+
+class TestCalibrate:
+    def test_sensor_becomes_sensitive(self, basys3_device):
+        sensor = LeakyDSP(device=basys3_device, seed=11)
+        calibrate(sensor, rng=0)
+        assert sensor.sensitivity() > 100  # readout bits per volt
+
+    def test_operating_point_has_dynamic_range(self, basys3_device):
+        sensor = LeakyDSP(device=basys3_device, seed=11)
+        calibrate(sensor, rng=0)
+        idle = sensor.expected_readout(np.array([1.0]))[0]
+        # Parked above the density peak: positive headroom for droop,
+        # but not saturated.
+        assert 20 < idle < 47
+
+    def test_result_fields(self, basys3_device):
+        sensor = LeakyDSP(device=basys3_device, seed=12)
+        result = calibrate(sensor, rng=0)
+        assert isinstance(result, CalibrationResult)
+        assert result.taps == sensor.taps
+        assert len(result.plan) == len(result.mean_readouts)
+        assert result.best_step > 0.25
+        assert result.sensitivity is not None
+
+    def test_works_across_seeds(self, basys3_device):
+        for seed in range(5):
+            sensor = LeakyDSP(device=basys3_device, seed=100 + seed)
+            result = calibrate(sensor, rng=seed)
+            assert result.best_step > 1.0
+
+    def test_works_for_tdc(self, basys3_device):
+        sensor = TDC(device=basys3_device, seed=11)
+        calibrate(sensor, rng=0)
+        idle = sensor.expected_readout(np.array([1.0]))[0]
+        assert 10 < idle < 118  # away from both rails
+
+    def test_custom_voltage_source(self, basys3_device):
+        sensor = LeakyDSP(device=basys3_device, seed=13)
+        calls = []
+
+        def source(n):
+            calls.append(n)
+            return np.full(n, 0.995)
+
+        calibrate(sensor, voltage_source=source, samples_per_step=32, rng=0)
+        assert calls and all(c == 32 for c in calls)
+
+    def test_degenerate_sensor_raises(self, basys3_device):
+        """A sensor whose settle times sit far outside the reachable
+        phase window cannot calibrate."""
+        sensor = LeakyDSP(device=basys3_device, seed=14)
+        # Sabotage: push the capture offset far away from the chain.
+        sensor.capture_offset += 20e-9
+        sensor.invalidate_table()
+        with pytest.raises(CalibrationError):
+            calibrate(sensor, rng=0)
+
+    def test_deterministic_given_rng(self, basys3_device):
+        taps = []
+        for _ in range(2):
+            sensor = LeakyDSP(device=basys3_device, seed=15)
+            taps.append(calibrate(sensor, rng=7).taps)
+        assert taps[0] == taps[1]
+
+    def test_park_steps_shift_operating_point(self, basys3_device):
+        readouts = []
+        for park in (0, 6):
+            sensor = LeakyDSP(device=basys3_device, seed=16)
+            calibrate(sensor, rng=0, park_steps=park)
+            readouts.append(sensor.expected_readout(np.array([1.0]))[0])
+        assert readouts[1] > readouts[0]

@@ -1,0 +1,26 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig3", "table1", "fig7", "defense"):
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["frobnicate"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_parser_help_mentions_full_scale(self):
+        parser = build_parser()
+        assert "REPRO_FULL" in parser.description
+
+    def test_runs_defense_experiment(self, capsys):
+        assert main(["defense"]) == 0
+        out = capsys.readouterr().out
+        assert "LeakyDSP" in out

@@ -1,0 +1,75 @@
+"""Tests for repro.config: RNG plumbing and physical constants."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    DEFAULT_CONSTANTS,
+    PhysicalConstants,
+    SimulationConfig,
+    make_rng,
+)
+
+
+class TestMakeRng:
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = make_rng(42).random(5)
+        b = make_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(make_rng(1).random(5), make_rng(2).random(5))
+
+    def test_generator_passes_through_unchanged(self):
+        g = np.random.default_rng(7)
+        assert make_rng(g) is g
+
+    def test_threading_one_generator_advances_state(self):
+        g = make_rng(0)
+        first = make_rng(g).random()
+        second = make_rng(g).random()
+        assert first != second
+
+
+class TestPhysicalConstants:
+    def test_defaults_are_sane(self):
+        c = DEFAULT_CONSTANTS
+        assert c.v_nominal > 0
+        assert c.alpha > 1.0
+        assert 0 < c.coupling_floor < 1
+        assert c.pdn_tau > 0
+        assert c.dsp_block_delay > c.tdc_stage_delay
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_CONSTANTS.alpha = 2.0
+
+    def test_override_via_replace(self):
+        c = dataclasses.replace(DEFAULT_CONSTANTS, alpha=1.5)
+        assert c.alpha == 1.5
+        assert DEFAULT_CONSTANTS.alpha != 1.5
+
+    def test_custom_instance_independent(self):
+        c = PhysicalConstants(v_nominal=0.85)
+        assert c.v_nominal == 0.85
+        assert DEFAULT_CONSTANTS.v_nominal == 1.0
+
+
+class TestSimulationConfig:
+    def test_rng_uses_seed(self):
+        a = SimulationConfig(seed=5).rng().random(3)
+        b = SimulationConfig(seed=5).rng().random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_default_constants_attached(self):
+        cfg = SimulationConfig()
+        assert cfg.constants.v_nominal == DEFAULT_CONSTANTS.v_nominal
+
+    def test_none_seed_allowed(self):
+        cfg = SimulationConfig(seed=None)
+        assert isinstance(cfg.rng(), np.random.Generator)

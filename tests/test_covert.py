@@ -1,0 +1,132 @@
+"""Tests for the covert channel."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.covert import CovertChannel, CovertChannelConfig
+from repro.core.calibration import calibrate
+from repro.core.leaky_dsp import LeakyDSP
+from repro.errors import CovertChannelError
+from repro.fpga.placement import Pblock, Placer
+from repro.pdn.coupling import CouplingModel
+from repro.victims.power_virus import PowerVirusBank
+
+
+def _make_channel(zu3eg_device, config=None):
+    coupling = CouplingModel(zu3eg_device)
+    placer = Placer(zu3eg_device)
+    virus = PowerVirusBank(zu3eg_device, 8000, 8)
+    virus.place(placer, [Pblock("sender", 0, 0, 63, 95)])
+    sensor = LeakyDSP(device=zu3eg_device, seed=7)
+    sensor.place(
+        placer, pblock=Pblock.from_region(zu3eg_device.region_by_name("X0Y2"))
+    )
+    calibrate(sensor, rng=0)
+    return CovertChannel(sensor, coupling, virus, config=config)
+
+
+@pytest.fixture(scope="module")
+def channel(zu3eg_device):
+    return _make_channel(zu3eg_device)
+
+
+@pytest.fixture(scope="module")
+def clean_channel(zu3eg_device):
+    cfg = CovertChannelConfig(lf_noise_rms=0.0, white_noise_rms=0.0)
+    return _make_channel(zu3eg_device, cfg)
+
+
+class TestTransmission:
+    def test_noiseless_is_error_free(self, clean_channel, rng):
+        payload = rng.integers(0, 2, 500)
+        result = clean_channel.transmit(payload, 4e-3, rng=0)
+        assert result.n_errors == 0
+        np.testing.assert_array_equal(result.decoded, payload)
+
+    def test_noisy_mostly_correct(self, channel, rng):
+        payload = rng.integers(0, 2, 2000)
+        result = channel.transmit(payload, 4e-3, rng=1)
+        assert result.ber < 0.05
+
+    def test_ber_property(self, clean_channel, rng):
+        result = clean_channel.transmit(rng.integers(0, 2, 100), 4e-3, rng=0)
+        assert result.ber == result.n_errors / 100
+
+    def test_empty_payload_rejected(self, channel):
+        with pytest.raises(CovertChannelError):
+            channel.transmit(np.array([]), 4e-3)
+
+    def test_non_binary_payload_rejected(self, channel):
+        with pytest.raises(CovertChannelError):
+            channel.transmit(np.array([0, 1, 2]), 4e-3)
+
+    def test_nonpositive_bit_time_rejected(self, channel):
+        with pytest.raises(CovertChannelError):
+            channel.samples_per_bit(0.0)
+
+    def test_too_fast_bit_time_rejected(self, channel):
+        with pytest.raises(CovertChannelError):
+            channel.samples_per_bit(1e-5)
+
+    def test_all_zero_and_all_one_payloads(self, clean_channel):
+        for bit in (0, 1):
+            payload = np.full(64, bit)
+            result = clean_channel.transmit(payload, 4e-3, rng=0)
+            assert result.n_errors == 0
+
+
+class TestRates:
+    def test_paper_rate_at_4ms(self, channel, rng):
+        result = channel.transmit(rng.integers(0, 2, 10_000), 4e-3, rng=2)
+        assert result.transmission_rate == pytest.approx(247.94, abs=0.01)
+
+    def test_rate_inverse_in_bit_time(self, clean_channel, rng):
+        payload = rng.integers(0, 2, 200)
+        fast = clean_channel.transmit(payload, 2e-3, rng=0)
+        slow = clean_channel.transmit(payload, 4e-3, rng=0)
+        assert fast.transmission_rate == pytest.approx(
+            2 * slow.transmission_rate, rel=1e-6
+        )
+
+    def test_overhead_reduces_rate_below_raw(self, channel, rng):
+        result = channel.transmit(rng.integers(0, 2, 1000), 4e-3, rng=3)
+        assert result.transmission_rate < 250.0
+
+
+class TestBerVsBitTime:
+    def test_longer_bits_fewer_errors(self, zu3eg_device):
+        cfg = CovertChannelConfig(lf_noise_rms=9e-3)
+        noisy = _make_channel(zu3eg_device, cfg)
+        rng = np.random.default_rng(5)
+        short = np.mean(
+            [noisy.transmit(rng.integers(0, 2, 3000), 2e-3, rng=rng).ber
+             for _ in range(3)]
+        )
+        long = np.mean(
+            [noisy.transmit(rng.integers(0, 2, 3000), 7.5e-3, rng=rng).ber
+             for _ in range(3)]
+        )
+        assert long < short
+
+
+class TestSweep:
+    def test_sweep_shapes(self, channel):
+        results = channel.sweep_bit_times([3e-3, 4e-3], payload_bits=200, n_runs=2, rng=0)
+        assert len(results) == 4
+        assert {r.bit_time for r in results} == {3e-3, 4e-3}
+
+
+class TestSetupValidation:
+    def test_droop_on_positive(self, channel):
+        assert channel.droop_on > 0
+
+    def test_unplaced_sensor_rejected(self, zu3eg_device):
+        coupling = CouplingModel(zu3eg_device)
+        placer = Placer(zu3eg_device)
+        virus = PowerVirusBank(zu3eg_device, 80, 8)
+        virus.place(placer, [Pblock("s", 0, 0, 63, 95)])
+        sensor = LeakyDSP(device=zu3eg_device, seed=7)
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CovertChannel(sensor, coupling, virus)

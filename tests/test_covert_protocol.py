@@ -1,0 +1,128 @@
+"""Tests for the framed covert-channel protocol."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.covert import CovertChannelConfig
+from repro.attacks.covert_protocol import (
+    FramedCovertChannel,
+    crc8,
+    repeat_decode,
+    repeat_encode,
+)
+from repro.errors import CovertChannelError
+from tests.test_covert import _make_channel
+
+
+@pytest.fixture(scope="module")
+def clean_channel(zu3eg_device):
+    cfg = CovertChannelConfig(lf_noise_rms=0.0, white_noise_rms=0.0)
+    return _make_channel(zu3eg_device, cfg)
+
+
+@pytest.fixture(scope="module")
+def noisy_channel(zu3eg_device):
+    cfg = CovertChannelConfig(lf_noise_rms=9e-3)
+    return _make_channel(zu3eg_device, cfg)
+
+
+class TestCrc8:
+    def test_deterministic(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0])
+        np.testing.assert_array_equal(crc8(bits), crc8(bits))
+
+    def test_detects_single_bit_flip(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            bits = rng.integers(0, 2, 64)
+            corrupted = bits.copy()
+            corrupted[rng.integers(0, 64)] ^= 1
+            assert not np.array_equal(crc8(bits), crc8(corrupted))
+
+    def test_eight_bits_out(self):
+        assert crc8(np.zeros(16, dtype=int)).shape == (8,)
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(CovertChannelError):
+            crc8(np.array([0, 2]))
+
+
+class TestRepetition:
+    def test_roundtrip_clean(self):
+        bits = np.array([1, 0, 0, 1, 1])
+        np.testing.assert_array_equal(
+            repeat_decode(repeat_encode(bits, 3), 3), bits
+        )
+
+    def test_majority_corrects_single_error(self):
+        coded = repeat_encode(np.array([1, 0]), 3)
+        coded[1] ^= 1  # one flip inside the first group
+        np.testing.assert_array_equal(repeat_decode(coded, 3), [1, 0])
+
+    def test_even_rate_rejected(self):
+        with pytest.raises(CovertChannelError):
+            repeat_encode(np.array([1]), 2)
+        with pytest.raises(CovertChannelError):
+            repeat_decode(np.zeros(4, dtype=int), 2)
+
+    def test_misaligned_stream_rejected(self):
+        with pytest.raises(CovertChannelError):
+            repeat_decode(np.zeros(7, dtype=int), 3)
+
+
+class TestFramedTransfer:
+    def test_clean_transfer_perfect(self, clean_channel, rng):
+        framed = FramedCovertChannel(clean_channel, packet_payload_bits=128)
+        payload = rng.integers(0, 2, 500)
+        result = framed.transfer(payload, 4e-3, rng=0)
+        assert result.packet_error_rate == 0.0
+        assert result.residual_ber == 0.0
+        np.testing.assert_array_equal(result.decoded, payload)
+
+    def test_packet_count(self, clean_channel, rng):
+        framed = FramedCovertChannel(clean_channel, packet_payload_bits=100)
+        result = framed.transfer(rng.integers(0, 2, 250), 4e-3, rng=0)
+        assert len(result.packets) == 3
+
+    def test_crc_flags_corrupt_packets(self, noisy_channel, rng):
+        """At an aggressive bit time, some packets corrupt; CRC-8 must
+        catch (nearly) all packets carrying bit errors."""
+        framed = FramedCovertChannel(noisy_channel, packet_payload_bits=256)
+        payload = rng.integers(0, 2, 4096)
+        result = framed.transfer(payload, 2e-3, rng=1)
+        flagged_correctly = sum(
+            1
+            for p in result.packets
+            if (p.bit_errors > 0) == (not p.crc_ok)
+        )
+        assert flagged_correctly >= len(result.packets) - 1
+
+    def test_repetition_lowers_residual_ber(self, noisy_channel, rng):
+        payload = rng.integers(0, 2, 3000)
+        uncoded = FramedCovertChannel(noisy_channel, 250, repetition=1)
+        coded = FramedCovertChannel(noisy_channel, 250, repetition=3)
+        ber_uncoded = uncoded.transfer(payload, 2e-3, rng=2).residual_ber
+        ber_coded = coded.transfer(payload, 2e-3, rng=3).residual_ber
+        assert ber_coded < ber_uncoded
+
+    def test_repetition_costs_goodput_when_clean(self, clean_channel, rng):
+        payload = rng.integers(0, 2, 1000)
+        fast = FramedCovertChannel(clean_channel, 250, repetition=1)
+        slow = FramedCovertChannel(clean_channel, 250, repetition=3)
+        g_fast = fast.transfer(payload, 4e-3, rng=0).goodput
+        g_slow = slow.transfer(payload, 4e-3, rng=0).goodput
+        assert g_fast > 2 * g_slow
+
+    def test_goodput_below_raw_rate(self, clean_channel, rng):
+        framed = FramedCovertChannel(clean_channel, 512)
+        result = framed.transfer(rng.integers(0, 2, 2048), 4e-3, rng=0)
+        assert 0 < result.goodput < 250.0
+
+    def test_validation(self, clean_channel):
+        with pytest.raises(CovertChannelError):
+            FramedCovertChannel(clean_channel, packet_payload_bits=4)
+        with pytest.raises(CovertChannelError):
+            FramedCovertChannel(clean_channel, repetition=2)
+        framed = FramedCovertChannel(clean_channel)
+        with pytest.raises(CovertChannelError):
+            framed.transfer(np.array([]), 4e-3)

@@ -1,0 +1,103 @@
+"""Tests for bitstream reconstruction and the timing-check defense."""
+
+import pytest
+
+from repro.core.leaky_dsp import LeakyDSP
+from repro.defense.checker import BitstreamChecker
+from repro.fpga.bitstream import generate_bitstream, reconstruct_netlist
+from repro.fpga.device import xc7a35t
+from repro.fpga.placement import Placer
+from repro.sensors.rds import RDS
+from repro.sensors.ro import RingOscillatorSensor
+from repro.sensors.tdc import TDC
+
+
+def _bitstream(sensor_factory, name):
+    device = xc7a35t()
+    sensor = sensor_factory(device, name)
+    placement = sensor.place(Placer(device))
+    return sensor, generate_bitstream(sensor.netlist(), placement)
+
+
+@pytest.fixture(scope="module")
+def leaky_bs():
+    return _bitstream(lambda d, n: LeakyDSP(device=d, seed=1, name=n), "lk")
+
+
+@pytest.fixture(scope="module")
+def tdc_bs():
+    return _bitstream(lambda d, n: TDC(device=d, seed=1, name=n), "td")
+
+
+class TestReconstruction:
+    def test_cell_counts_preserved(self, leaky_bs):
+        sensor, bs = leaky_bs
+        rebuilt = reconstruct_netlist(bs)
+        assert rebuilt.count_by_type() == sensor.netlist().count_by_type()
+
+    def test_dsp_attributes_preserved(self, leaky_bs):
+        _sensor, bs = leaky_bs
+        rebuilt = reconstruct_netlist(bs)
+        dsps = sorted(rebuilt.cells_of_type("DSP48E1"), key=lambda c: c.name)
+        assert dsps[0].primitive.is_fully_combinational
+        assert dsps[-1].primitive.attributes["PREG"] == 1
+
+    def test_connectivity_preserved(self, leaky_bs):
+        sensor, bs = leaky_bs
+        rebuilt = reconstruct_netlist(bs)
+        assert set(rebuilt.nets) == set(sensor.netlist().nets)
+
+    def test_ports_synthesized_from_routes(self, leaky_bs):
+        _sensor, bs = leaky_bs
+        rebuilt = reconstruct_netlist(bs)
+        assert "clk_in" in rebuilt.ports
+
+    def test_loop_detection_survives_roundtrip(self):
+        _sensor, bs = _bitstream(
+            lambda d, n: RingOscillatorSensor(device=d, name=n), "ro2"
+        )
+        rebuilt = reconstruct_netlist(bs)
+        assert rebuilt.combinational_loops()
+
+
+class TestTimingRule:
+    def test_leakydsp_caught_at_honest_clock(self, leaky_bs):
+        _sensor, bs = leaky_bs
+        findings = BitstreamChecker().check_timing(bs, declared_clock_hz=300e6)
+        assert any(f.rule == "timing-abuse" for f in findings)
+
+    def test_tdc_caught_at_honest_clock(self, tdc_bs):
+        _sensor, bs = tdc_bs
+        findings = BitstreamChecker().check_timing(bs, declared_clock_hz=300e6)
+        assert any(f.rule == "timing-abuse" for f in findings)
+
+    def test_rds_evades_netlist_level_timing_check(self):
+        """RDS's entire sensing delay lives in routing detours, which a
+        netlist-level timing check cannot see — the CHES'23 paper's own
+        evasion argument.  Only a check over *routed* timing would
+        catch it."""
+        _sensor, bs = _bitstream(lambda d, n: RDS(device=d, seed=1, name=n), "rd")
+        findings = BitstreamChecker().check_timing(bs, declared_clock_hz=300e6)
+        assert not any(f.rule == "timing-abuse" for f in findings)
+
+    def test_bypass_with_declared_slow_clock(self, leaky_bs):
+        """The paper's Section V observation: timing checks only see
+        declared constraints, so a tenant that generates its fast clock
+        on-chip passes with the same bitstream."""
+        _sensor, bs = leaky_bs
+        findings = BitstreamChecker().check_timing(bs, declared_clock_hz=20e6)
+        assert findings == []
+
+    def test_loop_reported_as_timing_violation(self):
+        _sensor, bs = _bitstream(
+            lambda d, n: RingOscillatorSensor(device=d, name=n), "ro3"
+        )
+        findings = BitstreamChecker().check_timing(bs, declared_clock_hz=100e6)
+        assert any(f.rule == "timing-loop" for f in findings)
+
+    def test_finding_message_names_path(self, leaky_bs):
+        _sensor, bs = leaky_bs
+        findings = BitstreamChecker().check_timing(bs, declared_clock_hz=300e6)
+        abuse = next(f for f in findings if f.rule == "timing-abuse")
+        assert "ns" in abuse.message
+        assert len(abuse.cells) == 2

@@ -1,0 +1,109 @@
+"""Tests for the classic DPA attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.cpa import CPAAttack
+from repro.attacks.dpa import DPAAttack
+from repro.errors import AttackError
+from repro.victims.aes.core import AES128
+from repro.victims.aes.key_schedule import expand_key
+from repro.victims.aes.sbox import HW8
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+def _leaky_traces(n, noise=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    aes = AES128(KEY)
+    pts = rng.integers(0, 256, (n, 16), dtype=np.uint8)
+    states = aes.round_states(pts)
+    hd = HW8[states[:, 9] ^ states[:, 10]].sum(axis=1).astype(float)
+    traces = np.column_stack(
+        [rng.normal(0, 1, n), -hd + rng.normal(0, noise, n)]
+    )
+    return traces, states[:, 10], aes
+
+
+class TestValidation:
+    def test_bad_params_rejected(self):
+        with pytest.raises(AttackError):
+            DPAAttack(0)
+        with pytest.raises(AttackError):
+            DPAAttack(5, selection_bit=8)
+
+    def test_shape_mismatch_rejected(self):
+        attack = DPAAttack(3)
+        with pytest.raises(AttackError):
+            attack.add_traces(np.zeros((2, 4)), np.zeros((2, 16), dtype=np.uint8))
+
+    def test_empty_evaluation_rejected(self):
+        with pytest.raises(AttackError):
+            DPAAttack(3).difference_traces()
+
+
+class TestRecovery:
+    def test_recovers_key_on_clean_leakage(self):
+        traces, cts, aes = _leaky_traces(6000, noise=1.0)
+        attack = DPAAttack(2)
+        attack.add_traces(traces, cts)
+        np.testing.assert_array_equal(attack.best_guesses(), aes.round_keys[10])
+        assert bytes(attack.recover_master_key()) == KEY
+
+    def test_difference_spikes_at_leaky_sample(self):
+        traces, cts, aes = _leaky_traces(6000, noise=1.0)
+        attack = DPAAttack(2)
+        attack.add_traces(traces, cts)
+        diff = attack.difference_traces()
+        k10 = aes.round_keys[10]
+        assert np.abs(diff[0, k10[0]]).argmax() == 1
+
+    def test_incremental_equals_batch(self):
+        traces, cts, _aes = _leaky_traces(2000)
+        a = DPAAttack(2)
+        a.add_traces(traces, cts)
+        b = DPAAttack(2)
+        b.add_traces(traces[:700], cts[:700])
+        b.add_traces(traces[700:], cts[700:])
+        np.testing.assert_allclose(
+            a.difference_traces(), b.difference_traces(), atol=1e-12
+        )
+
+    def test_flat_on_pure_noise(self):
+        rng = np.random.default_rng(5)
+        attack = DPAAttack(2)
+        attack.add_traces(
+            rng.normal(0, 1, (4000, 2)),
+            rng.integers(0, 256, (4000, 16), dtype=np.uint8),
+        )
+        peaks = attack.peak_differences()
+        # No guess dominates: spread within a small factor.
+        assert peaks.max() < 4 * np.median(peaks)
+
+    def test_different_selection_bits_agree(self):
+        traces, cts, aes = _leaky_traces(8000, noise=1.0, seed=3)
+        for bit in (0, 4, 7):
+            attack = DPAAttack(2, selection_bit=bit)
+            attack.add_traces(traces, cts)
+            correct = np.sum(attack.best_guesses() == aes.round_keys[10])
+            assert correct >= 14
+
+
+class TestCpaComparison:
+    def test_cpa_beats_dpa_at_fixed_budget(self):
+        """The full-byte HD statistic extracts more per trace than a
+        single selection bit: at a budget where CPA is fully converged,
+        DPA should be at most as good."""
+        traces, cts, aes = _leaky_traces(1500, noise=4.0, seed=7)
+        k10 = aes.round_keys[10]
+
+        cpa = CPAAttack(2)
+        cpa.add_traces(traces, cts)
+        cpa_correct = int(np.sum(cpa.best_guesses() == k10))
+
+        dpa = DPAAttack(2)
+        dpa.add_traces(traces, cts)
+        dpa_correct = int(np.sum(dpa.best_guesses() == k10))
+
+        assert cpa_correct == 16
+        assert dpa_correct <= cpa_correct

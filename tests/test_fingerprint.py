@@ -1,0 +1,98 @@
+"""Tests for workload fingerprinting."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.fingerprint import (
+    WorkloadBench,
+    WorkloadFingerprinter,
+    extract_features,
+    workload_trace,
+)
+from repro.errors import AttackError
+from repro.experiments import common
+
+
+@pytest.fixture(scope="module")
+def bench():
+    setup = common.Basys3Setup.create()
+    virus = common.make_virus(setup, 2000, 8)
+    sensor = common.make_leakydsp(setup, common.placement_pblock(setup.device, "P6"))
+    return WorkloadBench(
+        sensor, setup.coupling, virus, common.make_hw_model(), common.AES_POSITION
+    )
+
+
+class TestWorkloadTraces:
+    def test_idle_trace_near_nominal_readout(self, bench):
+        trace = workload_trace(bench, "idle", rng=0)
+        busy = workload_trace(bench, "virus-100", rng=0)
+        assert trace.mean() > busy.mean()
+
+    def test_trace_length(self, bench):
+        assert workload_trace(bench, "aes", n_samples=256, rng=0).shape == (256,)
+
+    def test_duty_scales_droop(self, bench):
+        low = workload_trace(bench, "virus-25", rng=1)
+        high = workload_trace(bench, "virus-100", rng=1)
+        assert high.mean() < low.mean()
+
+    def test_unknown_workload_rejected(self, bench):
+        with pytest.raises(AttackError):
+            workload_trace(bench, "bitcoin", rng=0)
+
+    def test_bad_duty_rejected(self, bench):
+        with pytest.raises(AttackError):
+            workload_trace(bench, "virus-0", rng=0)
+        with pytest.raises(AttackError):
+            workload_trace(bench, "virus-x", rng=0)
+
+
+class TestFeatures:
+    def test_feature_length(self):
+        trace = np.random.default_rng(0).normal(30, 2, 256)
+        assert extract_features(trace).shape == (15,)
+
+    def test_short_trace_rejected(self):
+        with pytest.raises(AttackError):
+            extract_features(np.zeros(5))
+
+    def test_mean_feature(self):
+        trace = np.full(128, 30.0)
+        assert extract_features(trace)[0] == pytest.approx(30.0)
+
+
+class TestClassifier:
+    @pytest.fixture(scope="class")
+    def trained(self, bench):
+        rng = np.random.default_rng(2)
+        workloads = ["idle", "aes", "virus-25", "virus-100"]
+        train = {
+            w: [workload_trace(bench, w, rng=rng) for _ in range(8)]
+            for w in workloads
+        }
+        fp = WorkloadFingerprinter()
+        fp.train(train)
+        return fp, workloads
+
+    def test_high_holdout_accuracy(self, trained, bench):
+        fp, workloads = trained
+        rng = np.random.default_rng(3)
+        test = {
+            w: [workload_trace(bench, w, rng=rng) for _ in range(6)]
+            for w in workloads
+        }
+        assert fp.accuracy(test) >= 0.9
+
+    def test_classes_listed(self, trained):
+        fp, workloads = trained
+        assert fp.classes == sorted(workloads)
+
+    def test_untrained_rejects(self):
+        with pytest.raises(AttackError):
+            WorkloadFingerprinter().classify(np.zeros(256))
+
+    def test_single_class_rejected(self):
+        fp = WorkloadFingerprinter()
+        with pytest.raises(AttackError):
+            fp.train({"idle": [np.zeros(256)]})

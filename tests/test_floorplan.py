@@ -1,0 +1,66 @@
+"""Tests for the ASCII floorplan renderer."""
+
+import pytest
+
+from repro.core.leaky_dsp import LeakyDSP
+from repro.errors import ConfigurationError
+from repro.fpga.floorplan import Floorplan
+from repro.fpga.placement import Pblock, Placer
+
+
+class TestFloorplan:
+    def test_renders_full_raster(self, basys3_device):
+        fp = Floorplan(basys3_device, width=42, height=30)
+        lines = fp.render().splitlines()
+        assert len(lines) == 31  # raster + legend
+        assert all(len(l) == 42 for l in lines[:30])
+
+    def test_background_shows_dsp_columns(self, basys3_device):
+        fp = Floorplan(basys3_device, width=basys3_device.width, height=30)
+        body = fp.render()
+        assert "D" in body
+        assert "|" in body  # IO edges
+
+    def test_region_boundaries_drawn(self, basys3_device):
+        fp = Floorplan(basys3_device, width=42, height=30)
+        assert "-" in fp.render()
+
+    def test_pblock_outline_and_label(self, basys3_device):
+        fp = Floorplan(basys3_device, width=42, height=30)
+        fp.draw_pblock(Pblock("sensor", 21, 0, 41, 49), label="S1")
+        body = fp.render()
+        assert "#" in body
+        assert "S1" in body
+
+    def test_placement_markers(self, basys3_device):
+        fp = Floorplan(basys3_device, width=42, height=30)
+        sensor = LeakyDSP(device=basys3_device, seed=1)
+        placement = sensor.place(Placer(basys3_device))
+        fp.draw_placement(placement, glyph="*")
+        assert "*" in fp.render()
+
+    def test_marker(self, basys3_device):
+        fp = Floorplan(basys3_device, width=42, height=30)
+        fp.draw_marker(10, 25, glyph="A")
+        assert "A" in fp.render()
+
+    def test_marker_orientation(self, basys3_device):
+        """Die y grows upward, so a bottom-of-die marker lands in the
+        bottom rows of the rendering."""
+        fp = Floorplan(basys3_device, width=42, height=30)
+        fp.draw_marker(20, 0, glyph="Z")
+        lines = fp.render().splitlines()
+        assert "Z" in lines[29]
+
+    def test_bad_glyph_rejected(self, basys3_device):
+        fp = Floorplan(basys3_device)
+        with pytest.raises(ConfigurationError):
+            fp.draw_marker(0, 0, glyph="ab")
+
+    def test_tiny_raster_rejected(self, basys3_device):
+        with pytest.raises(ConfigurationError):
+            Floorplan(basys3_device, width=2, height=2)
+
+    def test_zu3eg_renders(self, zu3eg_device):
+        fp = Floorplan(zu3eg_device, width=64, height=40)
+        assert "zu3eg" in fp.render()

@@ -1,0 +1,124 @@
+"""Tests for the AES hardware power model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.timing.sampling import ClockSpec
+from repro.victims.aes import AES128, AESHardwareModel
+from repro.victims.aes.sbox import HW8
+
+KEY = bytes(range(16))
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AESHardwareModel(ClockSpec(20e6), ClockSpec(300e6))
+
+
+@pytest.fixture(scope="module")
+def aes():
+    return AES128(KEY)
+
+
+class TestClocks:
+    def test_samples_per_cycle(self, model):
+        assert model.samples_per_cycle == 15
+
+    def test_samples_per_block(self, model):
+        assert model.samples_per_block == 11 * 15
+
+    def test_paper_frequency_grid(self):
+        for freq, spc in ((20e6, 15), (33.333e6, 9), (50e6, 6), (100e6, 3)):
+            m = AESHardwareModel(ClockSpec(freq), ClockSpec(300e6))
+            assert m.samples_per_cycle == spc
+
+    def test_sensor_slower_than_aes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AESHardwareModel(ClockSpec(300e6), ClockSpec(20e6))
+
+
+class TestHammingDistances:
+    def test_shape(self, model, aes, rng):
+        pts = rng.integers(0, 256, (7, 16), dtype=np.uint8)
+        hd = model.cycle_hamming_distances(aes, pts)
+        assert hd.shape == (7, 11)
+
+    def test_load_cycle_is_hw_of_k0(self, model, aes, rng):
+        """Chained plaintexts make the load transition
+        pt -> pt ^ k0, whose HD is the constant HW(k0)."""
+        pts = rng.integers(0, 256, (5, 16), dtype=np.uint8)
+        hd = model.cycle_hamming_distances(aes, pts)
+        expected = int(HW8[aes.round_keys[0]].sum())
+        assert np.all(hd[:, 0] == expected)
+
+    def test_round_hd_matches_states(self, model, aes, rng):
+        pts = rng.integers(0, 256, (3, 16), dtype=np.uint8)
+        states = aes.round_states(pts)
+        hd = model.cycle_hamming_distances(aes, pts)
+        manual = HW8[states[:, 4] ^ states[:, 5]].sum(axis=1)
+        np.testing.assert_array_equal(hd[:, 5], manual)
+
+    def test_explicit_previous_final(self, model, aes):
+        pts = np.zeros((1, 16), dtype=np.uint8)
+        prev = np.zeros((1, 16), dtype=np.uint8)
+        hd = model.cycle_hamming_distances(aes, pts, previous_final=prev)
+        expected = int(HW8[aes.round_keys[0]].sum())  # 0 -> 0^k0
+        assert hd[0, 0] == expected
+
+    def test_bad_previous_shape_rejected(self, model, aes):
+        pts = np.zeros((2, 16), dtype=np.uint8)
+        with pytest.raises(ConfigurationError):
+            model.cycle_hamming_distances(aes, pts, previous_final=np.zeros((3, 16)))
+
+    def test_hd_range(self, model, aes, rng):
+        pts = rng.integers(0, 256, (50, 16), dtype=np.uint8)
+        hd = model.cycle_hamming_distances(aes, pts)
+        assert hd.min() >= 0
+        assert hd.max() <= 128
+
+    def test_round_hd_near_64_on_average(self, model, aes, rng):
+        """Random round transitions flip about half the 128 bits."""
+        pts = rng.integers(0, 256, (200, 16), dtype=np.uint8)
+        hd = model.cycle_hamming_distances(aes, pts)
+        assert abs(hd[:, 1:].mean() - 64) < 2
+
+
+class TestCurrentWaveform:
+    def test_shape_default(self, model, aes, rng):
+        pts = rng.integers(0, 256, (4, 16), dtype=np.uint8)
+        hd = model.cycle_hamming_distances(aes, pts)
+        wave = model.current_waveform(hd)
+        assert wave.shape == (4, 13 * 15)
+
+    def test_explicit_length(self, model, aes, rng):
+        pts = rng.integers(0, 256, (4, 16), dtype=np.uint8)
+        hd = model.cycle_hamming_distances(aes, pts)
+        assert model.current_waveform(hd, n_samples=100).shape == (4, 100)
+
+    def test_lead_in_is_base_current(self, model, aes, rng):
+        pts = rng.integers(0, 256, (2, 16), dtype=np.uint8)
+        hd = model.cycle_hamming_distances(aes, pts)
+        wave = model.current_waveform(hd, lead_in_cycles=2)
+        base = model.constants.aes_base_current
+        np.testing.assert_allclose(wave[:, : 2 * 15], base)
+
+    def test_cycle_current_proportional_to_hd(self, model, aes):
+        hd = np.zeros((1, 11))
+        hd[0, 5] = 100
+        wave = model.current_waveform(hd, lead_in_cycles=0)
+        c = model.constants
+        peak = c.aes_base_current + 100 * c.aes_current_per_bit
+        assert wave[0, 5 * 15] == pytest.approx(peak)
+        assert wave[0, 4 * 15] == pytest.approx(c.aes_base_current)
+
+    def test_held_for_whole_cycle(self, model, aes):
+        hd = np.zeros((1, 11))
+        hd[0, 3] = 50
+        wave = model.current_waveform(hd, lead_in_cycles=0)
+        cycle = wave[0, 3 * 15 : 4 * 15]
+        assert np.all(cycle == cycle[0])
+
+    def test_bad_hd_shape_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.current_waveform(np.zeros((2, 10)))

@@ -1,0 +1,118 @@
+"""Tests for key-rank estimation (histogram convolution)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.key_rank import key_rank_bounds, scores_from_correlations
+from repro.errors import AttackError
+
+
+def _scores_with_true_ranks(per_byte_rank, rng=None, spread=1.0):
+    """Scores where the true byte (index 0 everywhere) has a known
+    per-byte rank."""
+    rng = rng or np.random.default_rng(0)
+    scores = rng.normal(0.0, spread, (16, 256))
+    true = np.zeros(16, dtype=np.intp)
+    for j in range(16):
+        order = np.sort(scores[j])[::-1]
+        # A rank-0 byte gets a realistic margin above the runner-up (as
+        # a converged CPA would produce), not an epsilon tie.
+        scores[j, 0] = order[per_byte_rank[j]] + (
+            0.5 * spread if per_byte_rank[j] == 0 else 0.0
+        )
+    return scores, true
+
+
+class TestScores:
+    def test_shape_preserved(self):
+        rho = np.random.default_rng(0).uniform(0, 0.1, (16, 256))
+        z = scores_from_correlations(rho, 1000)
+        assert z.shape == (16, 256)
+
+    def test_monotone_in_rho(self):
+        rho = np.zeros((16, 256))
+        rho[0, 0], rho[0, 1] = 0.02, 0.05
+        z = scores_from_correlations(rho, 1000)
+        assert z[0, 1] > z[0, 0]
+
+    def test_scales_with_trace_count(self):
+        rho = np.full((16, 256), 0.05)
+        z1 = scores_from_correlations(rho, 100)
+        z2 = scores_from_correlations(rho, 10_000)
+        assert np.all(z2 > z1)
+
+    def test_negative_rho_uses_magnitude(self):
+        rho = np.zeros((16, 256))
+        rho[0, 0] = -0.08
+        z = scores_from_correlations(rho, 500)
+        assert z[0, 0] > 0
+
+    def test_too_few_traces_rejected(self):
+        with pytest.raises(AttackError):
+            scores_from_correlations(np.zeros((16, 256)), 3)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(AttackError):
+            scores_from_correlations(np.zeros((16, 99)), 100)
+
+
+class TestRankBounds:
+    def test_recovered_key_rank_one(self):
+        scores, true = _scores_with_true_ranks([0] * 16)
+        lo, hi = key_rank_bounds(scores, true)
+        assert lo == 0.0
+        assert hi < 12  # tight upper bound
+
+    def test_no_information_full_space(self):
+        lo, hi = key_rank_bounds(np.ones((16, 256)), np.zeros(16, dtype=np.intp))
+        assert (lo, hi) == (0.0, 128.0)
+
+    def test_bounds_ordered(self):
+        rng = np.random.default_rng(1)
+        scores = rng.normal(0, 1, (16, 256))
+        lo, hi = key_rank_bounds(scores, rng.integers(0, 256, 16))
+        assert lo <= hi
+
+    def test_partial_recovery_in_plausible_range(self):
+        # 12 bytes at rank 0, 4 bytes at rank ~19: the true rank is
+        # bounded by 20^4 ~ 2^17.3 times small polynomial factors.
+        scores, true = _scores_with_true_ranks([0] * 12 + [19] * 4)
+        lo, hi = key_rank_bounds(scores, true)
+        assert 8 < hi < 40
+        assert lo <= hi
+
+    def test_worse_bytes_raise_rank(self):
+        easy, true = _scores_with_true_ranks([0] * 14 + [5] * 2)
+        hard, _ = _scores_with_true_ranks([0] * 14 + [120] * 2)
+        _, hi_easy = key_rank_bounds(easy, true)
+        _, hi_hard = key_rank_bounds(hard, true)
+        assert hi_hard > hi_easy
+
+    def test_more_bins_tighten_bounds(self):
+        scores, true = _scores_with_true_ranks([3] * 16)
+        lo1, hi1 = key_rank_bounds(scores, true, n_bins=256)
+        lo2, hi2 = key_rank_bounds(scores, true, n_bins=4096)
+        assert (hi2 - lo2) <= (hi1 - lo1) + 1e-9
+
+    def test_two_byte_exhaustive_ground_truth(self):
+        """With only 2 informative bytes (the rest fully recovered),
+        the rank can be enumerated exactly; the bounds must bracket it."""
+        rng = np.random.default_rng(5)
+        scores = rng.normal(0, 1.0, (16, 256))
+        true = rng.integers(0, 256, 16)
+        for j in range(14):
+            scores[j, true[j]] = scores[j].max() + 10.0  # certain bytes
+        # Exhaustive rank over the two free bytes:
+        t14, t15 = scores[14, true[14]], scores[15, true[15]]
+        total = t14 + t15
+        grid = scores[14][:, None] + scores[15][None, :]
+        exact_rank = int(np.count_nonzero(grid > total))
+        lo, hi = key_rank_bounds(scores, true, n_bins=4096)
+        exact_log2 = np.log2(max(exact_rank, 1))
+        assert lo - 0.8 <= exact_log2 <= hi + 0.8
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(AttackError):
+            key_rank_bounds(np.zeros((16, 99)), np.zeros(16, dtype=np.intp))
+        with pytest.raises(AttackError):
+            key_rank_bounds(np.zeros((16, 256)), np.zeros(15, dtype=np.intp))

@@ -1,0 +1,172 @@
+"""Tests for structural netlists: construction, validation, graphs and
+combinational-loop detection."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.fpga.netlist import Cell, Net, Netlist
+from repro.fpga.primitives import CARRY4, DSP48E1, FDRE, LUT
+
+
+def _ro_netlist() -> Netlist:
+    """Inverter looped through an AND gate: a classic RO."""
+    nl = Netlist("ro")
+    nl.add_port("en", "in")
+    inv = nl.add_cell(LUT.inverter("inv"))
+    gate = nl.add_cell(LUT.and2("gate"))
+    nl.connect("n_en", ("en", "O"), [("gate", "I0")])
+    nl.connect("n_fb", ("inv", "O"), [("gate", "I1")])
+    nl.connect("n_loop", ("gate", "O"), [("inv", "I0")])
+    return nl
+
+
+class TestConstruction:
+    def test_add_cell_defaults_to_primitive_name(self):
+        nl = Netlist("t")
+        cell = nl.add_cell(LUT.inverter("inv"))
+        assert cell.name == "inv"
+        assert nl.cells["inv"].type == "LUT"
+
+    def test_duplicate_cell_rejected(self):
+        nl = Netlist("t")
+        nl.add_cell(LUT.inverter("inv"))
+        with pytest.raises(NetlistError):
+            nl.add_cell(LUT.inverter("inv"))
+
+    def test_duplicate_net_rejected(self):
+        nl = Netlist("t")
+        nl.add_net("n")
+        with pytest.raises(NetlistError):
+            nl.add_net("n")
+
+    def test_duplicate_port_rejected(self):
+        nl = Netlist("t")
+        nl.add_port("p", "in")
+        with pytest.raises(NetlistError):
+            nl.add_port("p", "out")
+
+    def test_bad_port_direction_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist("t").add_port("p", "inout")
+
+    def test_double_driver_rejected(self):
+        net = Net("n")
+        net.set_driver("a", "O")
+        with pytest.raises(NetlistError):
+            net.set_driver("b", "O")
+
+    def test_counts_by_type(self):
+        nl = _ro_netlist()
+        assert nl.count_by_type() == {"LUT": 2}
+
+    def test_cells_of_type(self):
+        nl = _ro_netlist()
+        assert {c.name for c in nl.cells_of_type("LUT")} == {"inv", "gate"}
+
+
+class TestValidation:
+    def test_valid_netlist_passes(self):
+        _ro_netlist().validate()
+
+    def test_undriven_net_rejected(self):
+        nl = Netlist("t")
+        nl.add_cell(LUT.inverter("inv"))
+        net = nl.add_net("n")
+        net.add_sink("inv", "I0")
+        with pytest.raises(NetlistError, match="no driver"):
+            nl.validate()
+
+    def test_sinkless_net_rejected(self):
+        nl = Netlist("t")
+        nl.add_cell(LUT.inverter("inv"))
+        net = nl.add_net("n")
+        net.set_driver("inv", "O")
+        with pytest.raises(NetlistError, match="no sinks"):
+            nl.validate()
+
+    def test_undeclared_driver_cell_rejected(self):
+        nl = Netlist("t")
+        nl.add_cell(LUT.inverter("inv"))
+        nl.connect("n", ("ghost", "O"), [("inv", "I0")])
+        with pytest.raises(NetlistError, match="not declared"):
+            nl.validate()
+
+    def test_undeclared_sink_cell_rejected(self):
+        nl = Netlist("t")
+        nl.add_cell(LUT.inverter("inv"))
+        nl.connect("n", ("inv", "O"), [("ghost", "I0")])
+        with pytest.raises(NetlistError, match="not declared"):
+            nl.validate()
+
+
+class TestGraph:
+    def test_graph_edges_follow_nets(self):
+        g = _ro_netlist().graph()
+        assert g.has_edge("gate", "inv")
+        assert g.has_edge("inv", "gate")
+        assert g.has_edge("en", "gate")
+
+    def test_graph_nodes_typed(self):
+        g = _ro_netlist().graph()
+        assert g.nodes["inv"]["type"] == "LUT"
+        assert g.nodes["en"]["type"] == "PORT"
+
+
+class TestSequentialBarriers:
+    def test_ff_is_barrier(self):
+        assert Cell("f", FDRE("f")).is_sequential_barrier
+
+    def test_lut_is_not_barrier(self):
+        assert not Cell("l", LUT.inverter("l")).is_sequential_barrier
+
+    def test_carry_is_not_barrier(self):
+        assert not Cell("c", CARRY4("c")).is_sequential_barrier
+
+    def test_combinational_dsp_is_not_barrier(self):
+        dsp = DSP48E1.leakydsp_config("d")
+        assert not Cell("d", dsp).is_sequential_barrier
+
+    def test_registered_dsp_is_barrier(self):
+        dsp = DSP48E1.leakydsp_config("d", last=True)
+        assert Cell("d", dsp).is_sequential_barrier
+
+
+class TestLoopDetection:
+    def test_ro_loop_found(self):
+        loops = _ro_netlist().combinational_loops()
+        assert len(loops) == 1
+        assert set(loops[0]) == {"inv", "gate"}
+
+    def test_ff_breaks_loop(self):
+        nl = Netlist("t")
+        nl.add_cell(LUT.inverter("inv"))
+        nl.add_cell(FDRE("ff"))
+        nl.connect("n1", ("inv", "O"), [("ff", "D")])
+        nl.connect("n2", ("ff", "Q"), [("inv", "I0")])
+        assert nl.combinational_loops() == []
+
+    def test_registered_dsp_breaks_loop(self):
+        nl = Netlist("t")
+        nl.add_cell(DSP48E1.leakydsp_config("d", last=True))
+        nl.add_cell(LUT.inverter("inv"))
+        nl.connect("n1", ("d", "P"), [("inv", "I0")])
+        nl.connect("n2", ("inv", "O"), [("d", "A")])
+        assert nl.combinational_loops() == []
+
+    def test_combinational_dsp_loop_found(self):
+        nl = Netlist("t")
+        nl.add_cell(DSP48E1.leakydsp_config("d"))
+        nl.add_cell(LUT.inverter("inv"))
+        nl.connect("n1", ("d", "P"), [("inv", "I0")])
+        nl.connect("n2", ("inv", "O"), [("d", "A")])
+        assert len(nl.combinational_loops()) == 1
+
+    def test_acyclic_chain_clean(self):
+        nl = Netlist("t")
+        nl.add_port("in", "in")
+        prev = ("in", "O")
+        for i in range(5):
+            nl.add_cell(LUT.inverter(f"l{i}"))
+            nl.connect(f"n{i}", prev, [(f"l{i}", "I0")])
+            prev = (f"l{i}", "O")
+        assert nl.combinational_loops() == []

@@ -1,0 +1,118 @@
+"""Tests for the RC-mesh PDN reference solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pdn.mesh import PDNMesh
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return PDNMesh(nx=15, ny=15, v_nominal=1.0)
+
+
+class TestStaticSolve:
+    def test_no_load_sits_at_nominal(self, mesh):
+        v = mesh.solve_static({})
+        np.testing.assert_allclose(v, 1.0, atol=1e-9)
+
+    def test_load_causes_droop(self, mesh):
+        v = mesh.solve_static({(7, 7): 1e-3})
+        assert v[7, 7] < 1.0
+        assert np.all(v < 1.0 + 1e-12)
+
+    def test_droop_peaks_at_load(self, mesh):
+        v = mesh.solve_static({(7, 7): 1e-3})
+        droop = 1.0 - v
+        assert droop.argmax() == 7 * mesh.nx + 7
+
+    def test_droop_decays_with_distance(self, mesh):
+        v = mesh.solve_static({(7, 7): 1e-3})
+        droop = 1.0 - v
+        assert droop[7, 7] > droop[7, 12] > droop[7, 14] > 0
+
+    def test_superposition(self, mesh):
+        va = 1.0 - mesh.solve_static({(3, 3): 1e-3})
+        vb = 1.0 - mesh.solve_static({(11, 11): 2e-3})
+        vab = 1.0 - mesh.solve_static({(3, 3): 1e-3, (11, 11): 2e-3})
+        np.testing.assert_allclose(vab, va + vb, rtol=1e-9, atol=1e-12)
+
+    def test_droop_linear_in_current(self, mesh):
+        d1 = 1.0 - mesh.solve_static({(7, 7): 1e-3})
+        d2 = 1.0 - mesh.solve_static({(7, 7): 2e-3})
+        np.testing.assert_allclose(d2, 2 * d1, rtol=1e-9)
+
+    def test_negative_load_rejected(self, mesh):
+        with pytest.raises(ConfigurationError):
+            mesh.solve_static({(7, 7): -1e-3})
+
+    def test_weak_supply_region_droops_more(self):
+        strength = np.ones((9, 9))
+        strength[:, :4] = 0.5  # weak left half
+        weak = PDNMesh(9, 9, supply_strength=strength)
+        uniform = PDNMesh(9, 9)
+        d_weak = 1.0 - weak.solve_static({(2, 4): 1e-3})
+        d_uni = 1.0 - uniform.solve_static({(2, 4): 1e-3})
+        assert d_weak[4, 2] > d_uni[4, 2]
+
+
+class TestTransient:
+    def test_converges_to_static_solution(self, mesh):
+        static = mesh.solve_static({(7, 7): 1e-3})
+        steps = 400
+        currents = np.full((1, steps), 1e-3)
+        v = mesh.transient([(7, 7)], currents, dt=5e-9)
+        np.testing.assert_allclose(v[-1], static, rtol=1e-4)
+
+    def test_monotone_approach(self, mesh):
+        currents = np.full((1, 100), 1e-3)
+        v = mesh.transient([(7, 7)], currents, dt=5e-9)
+        node = v[:, 7, 7]
+        assert np.all(np.diff(node) <= 1e-12)  # settles downward
+
+    def test_release_recovers(self, mesh):
+        currents = np.concatenate([np.full(100, 1e-3), np.zeros(200)])[None, :]
+        v = mesh.transient([(7, 7)], currents, dt=5e-9)
+        assert v[-1, 7, 7] == pytest.approx(1.0, abs=1e-4)
+
+    def test_shape(self, mesh):
+        v = mesh.transient([(1, 1), (2, 2)], np.zeros((2, 10)), dt=1e-9)
+        assert v.shape == (10, mesh.ny, mesh.nx)
+
+    def test_row_mismatch_rejected(self, mesh):
+        with pytest.raises(ConfigurationError):
+            mesh.transient([(1, 1)], np.zeros((2, 10)), dt=1e-9)
+
+
+class TestValidation:
+    def test_tiny_mesh_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PDNMesh(1, 5)
+
+    def test_nonpositive_elements_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PDNMesh(5, 5, r_grid=0)
+        with pytest.raises(ConfigurationError):
+            PDNMesh(5, 5, c_node=-1e-12)
+
+    def test_bad_strength_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PDNMesh(5, 5, supply_strength=np.ones((4, 5)))
+
+    def test_nonpositive_strength_rejected(self):
+        s = np.ones((5, 5))
+        s[0, 0] = 0
+        with pytest.raises(ConfigurationError):
+            PDNMesh(5, 5, supply_strength=s)
+
+    def test_node_index_bounds(self, mesh):
+        with pytest.raises(ConfigurationError):
+            mesh.node_index(15, 0)
+
+
+class TestCouplingProfile:
+    def test_profile_positive_and_peaked(self, mesh):
+        profile = mesh.coupling_profile((7, 7))
+        assert np.all(profile >= 0)
+        assert profile.argmax() == 7 * mesh.nx + 7

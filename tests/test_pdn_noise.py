@@ -1,0 +1,60 @@
+"""Tests for the voltage-noise models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pdn.noise import NoiseModel
+
+
+class TestNoiseModel:
+    def test_quiet_is_silent(self):
+        noise = NoiseModel.quiet().sample(100, rng=0)
+        np.testing.assert_array_equal(noise, 0.0)
+
+    def test_white_rms_close_to_spec(self):
+        model = NoiseModel(white_rms=2e-3, drift_rms=0.0)
+        samples = model.sample(200_000, rng=1)
+        assert samples.std() == pytest.approx(2e-3, rel=0.02)
+
+    def test_white_mean_near_zero(self):
+        model = NoiseModel(white_rms=1e-3, drift_rms=0.0)
+        assert abs(model.sample(100_000, rng=2).mean()) < 5e-5
+
+    def test_deterministic_with_seed(self):
+        model = NoiseModel()
+        a = model.sample(100, rng=42)
+        b = model.sample(100, rng=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_drift_is_correlated(self):
+        model = NoiseModel(white_rms=0.0, drift_rms=1e-5)
+        samples = model.sample(10_000, rng=3)
+        # A random walk has strong lag-1 autocorrelation.
+        x = samples - samples.mean()
+        corr = (x[:-1] * x[1:]).mean() / x.var()
+        assert corr > 0.9
+
+    def test_drift_is_bounded(self):
+        model = NoiseModel(white_rms=0.0, drift_rms=1e-5)
+        n = 50_000
+        samples = model.sample(n, rng=4)
+        bound = 10 * 1e-5 * np.sqrt(n)
+        assert np.max(np.abs(samples)) <= bound + 1e-12
+
+    def test_bursts_only_droop(self):
+        model = NoiseModel(
+            white_rms=0.0, drift_rms=0.0, burst_rate=0.3, burst_amplitude=5e-3
+        )
+        samples = model.sample(10_000, rng=5)
+        assert np.all(samples <= 0)
+        hit_fraction = np.count_nonzero(samples) / samples.size
+        assert hit_fraction == pytest.approx(0.3, abs=0.03)
+
+    def test_negative_amplitudes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NoiseModel(white_rms=-1.0)
+
+    def test_bad_burst_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NoiseModel(burst_rate=1.5)

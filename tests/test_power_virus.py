@@ -1,0 +1,149 @@
+"""Tests for the power-virus bank."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PlacementError
+from repro.fpga.placement import Pblock, Placer
+from repro.pdn.coupling import CouplingModel
+from repro.victims.power_virus import PowerVirusBank
+
+
+@pytest.fixture(scope="module")
+def placed_virus(basys3_device):
+    virus = PowerVirusBank(basys3_device, n_instances=800, n_groups=8)
+    placer = Placer(basys3_device)
+    blocks = [
+        Pblock("left", 0, 0, 20, 59),
+        Pblock("right", 21, 0, 41, 59),
+    ]
+    virus.place(placer, blocks)
+    return virus
+
+
+@pytest.fixture(scope="module")
+def coupling(basys3_device):
+    return CouplingModel(basys3_device)
+
+
+class TestConstruction:
+    def test_uneven_groups_rejected(self, basys3_device):
+        with pytest.raises(ConfigurationError):
+            PowerVirusBank(basys3_device, n_instances=100, n_groups=7)
+
+    def test_nonpositive_rejected(self, basys3_device):
+        with pytest.raises(ConfigurationError):
+            PowerVirusBank(basys3_device, n_instances=0)
+
+    def test_instances_per_group(self, basys3_device):
+        virus = PowerVirusBank(basys3_device, 800, 8)
+        assert virus.instances_per_group == 100
+
+
+class TestNetlist:
+    def test_one_lut_one_ff_per_instance(self, basys3_device):
+        virus = PowerVirusBank(basys3_device, 40, 8)
+        counts = virus.netlist().count_by_type()
+        assert counts == {"LUT": 40, "FDRE": 40}
+
+    def test_group_enable_ports(self, basys3_device):
+        virus = PowerVirusBank(basys3_device, 40, 8)
+        nl = virus.netlist()
+        assert {f"enable{g}" for g in range(8)} <= set(nl.ports)
+
+    def test_each_instance_is_an_ro(self, basys3_device):
+        virus = PowerVirusBank(basys3_device, 16, 4)
+        loops = virus.netlist().combinational_loops()
+        assert len(loops) == 16  # one loop per instance
+
+    def test_netlist_cached(self, basys3_device):
+        virus = PowerVirusBank(basys3_device, 8, 4)
+        assert virus.netlist() is virus.netlist()
+
+
+class TestPlacement:
+    def test_positions_shape(self, placed_virus):
+        assert placed_virus.positions.shape == (800, 2)
+
+    def test_groups_spatially_interleaved(self, placed_virus):
+        """Round-robin group assignment gives every group nearly the
+        same centroid — the paper's 'evenly-distributed' groups."""
+        pos = placed_virus.positions
+        centroids = np.array([
+            pos[placed_virus.group_of == g].mean(axis=0)
+            for g in range(placed_virus.n_groups)
+        ])
+        spread = np.linalg.norm(centroids - centroids.mean(axis=0), axis=1)
+        assert spread.max() < 3.0
+
+    def test_group_sizes_equal(self, placed_virus):
+        counts = np.bincount(placed_virus.group_of)
+        assert np.all(counts == 100)
+
+    def test_positions_inside_pblocks(self, placed_virus):
+        pos = placed_virus.positions
+        assert pos[:, 0].max() <= 41
+        assert pos[:, 1].max() <= 59
+
+    def test_no_pblock_rejected(self, basys3_device):
+        virus = PowerVirusBank(basys3_device, 8, 4)
+        with pytest.raises(PlacementError):
+            virus.place(Placer(basys3_device), [])
+
+    def test_unplaced_access_raises(self, basys3_device):
+        virus = PowerVirusBank(basys3_device, 8, 4)
+        with pytest.raises(PlacementError):
+            _ = virus.positions
+
+
+class TestCurrents:
+    def test_group_currents_scale(self, placed_virus):
+        c = placed_virus.constants.virus_current_per_instance
+        one = placed_virus.group_currents(np.array([1, 0, 0, 0, 0, 0, 0, 0]))
+        assert one[0] == pytest.approx(100 * c)
+        assert one[1:].sum() == 0
+
+    def test_activation_matrix(self, placed_virus):
+        enables = np.zeros((8, 5))
+        enables[2, 3] = 1
+        currents = placed_virus.group_currents(enables)
+        assert currents.shape == (8, 5)
+        assert currents[2, 3] > 0
+
+    def test_wrong_rows_rejected(self, placed_virus):
+        with pytest.raises(ConfigurationError):
+            placed_virus.group_currents(np.ones(5))
+
+
+class TestDroop:
+    def test_droop_scales_with_groups(self, placed_virus, coupling):
+        pos = (30.0, 25.0)
+        droops = [
+            placed_virus.droop_at(
+                coupling, pos, np.concatenate([np.ones(k), np.zeros(8 - k)])
+            )
+            for k in range(9)
+        ]
+        assert all(b > a for a, b in zip(droops, droops[1:]))
+        # Evenly-spread groups: droop is nearly linear in group count.
+        droops = np.array(droops)
+        steps = np.diff(droops)
+        assert steps.std() / steps.mean() < 0.05
+
+    def test_group_kappas_mean_semantics(self, placed_virus, coupling):
+        """mean-kappa @ total-current equals the exact per-instance sum."""
+        from repro.pdn.coupling import LoadSite
+
+        pos = (30.0, 25.0)
+        kappas = placed_virus.group_kappas(coupling, pos)
+        currents = placed_virus.group_currents(np.ones(8))
+        via_groups = float(kappas @ currents)
+        loads = [LoadSite(x, y) for x, y in placed_virus.positions]
+        per_instance = coupling.coupling_vector(pos, loads).sum()
+        exact = per_instance * placed_virus.constants.virus_current_per_instance
+        assert via_groups == pytest.approx(exact, rel=1e-12)
+
+    def test_nearer_sensor_sees_more(self, placed_virus, coupling):
+        near = placed_virus.droop_at(coupling, (20.0, 30.0), np.ones(8))
+        far = placed_virus.droop_at(coupling, (20.0, 140.0), np.ones(8))
+        assert near > far > 0

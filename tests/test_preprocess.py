@@ -1,0 +1,120 @@
+"""Tests for trace preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.preprocess import (
+    align,
+    average_groups,
+    moving_average,
+    select_poi,
+    standardize,
+)
+from repro.errors import AttackError
+
+
+class TestStandardize:
+    def test_zero_mean_unit_var(self, rng):
+        t = rng.normal(5, 3, (200, 10))
+        z = standardize(t)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, atol=1e-12)
+
+    def test_constant_samples_map_to_zero(self):
+        t = np.ones((50, 4))
+        np.testing.assert_array_equal(standardize(t), 0.0)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(AttackError):
+            standardize(np.zeros(10))
+
+
+class TestMovingAverage:
+    def test_window_one_identity(self, rng):
+        t = rng.normal(0, 1, (5, 20))
+        np.testing.assert_array_equal(moving_average(t, 1), t)
+
+    def test_constant_preserved(self):
+        t = np.full((3, 30), 7.0)
+        np.testing.assert_allclose(moving_average(t, 5), 7.0)
+
+    def test_reduces_white_noise(self, rng):
+        t = rng.normal(0, 1, (10, 500))
+        smoothed = moving_average(t, 9)
+        assert smoothed.std() < 0.5 * t.std()
+
+    def test_bad_window_rejected(self, rng):
+        t = rng.normal(0, 1, (2, 10))
+        with pytest.raises(AttackError):
+            moving_average(t, 0)
+        with pytest.raises(AttackError):
+            moving_average(t, 11)
+
+
+class TestAlign:
+    def test_recovers_injected_shifts(self, rng):
+        pulse = np.zeros(100)
+        pulse[40:50] = 10.0
+        true_shifts = [-3, 0, 2, 5]
+        traces = np.stack(
+            [np.roll(pulse, -s) + rng.normal(0, 0.1, 100) for s in true_shifts]
+        )
+        aligned, shifts = align(traces, reference=pulse, max_shift=8)
+        # Convention: a positive shift advances a lagging trace, so the
+        # recovered shifts are the negated injected rolls.
+        np.testing.assert_array_equal(shifts, [3, 0, -2, -5])
+        # After alignment every pulse onset returns to the reference
+        # position (argmax inside the flat pulse top is noise-picked,
+        # so check the rising edge instead).
+        onsets = (aligned > 5.0).argmax(axis=1)
+        np.testing.assert_array_equal(onsets, 40)
+
+    def test_default_reference_is_mean(self, rng):
+        t = rng.normal(0, 1, (4, 50))
+        aligned, shifts = align(t, max_shift=3)
+        assert aligned.shape == t.shape
+
+    def test_bad_reference_length_rejected(self, rng):
+        with pytest.raises(AttackError):
+            align(rng.normal(0, 1, (2, 20)), reference=np.zeros(19))
+
+    def test_bad_max_shift_rejected(self, rng):
+        with pytest.raises(AttackError):
+            align(rng.normal(0, 1, (2, 20)), max_shift=25)
+
+
+class TestSelectPoi:
+    def test_picks_high_variance_samples(self, rng):
+        t = rng.normal(0, 0.1, (300, 20))
+        t[:, 5] += rng.normal(0, 5, 300)
+        t[:, 12] += rng.normal(0, 5, 300)
+        poi = select_poi(t, 2)
+        assert set(poi) == {5, 12}
+
+    def test_sorted_output(self, rng):
+        t = rng.normal(0, 1, (50, 30))
+        poi = select_poi(t, 10)
+        assert list(poi) == sorted(poi)
+
+    def test_bounds_rejected(self, rng):
+        t = rng.normal(0, 1, (5, 10))
+        with pytest.raises(AttackError):
+            select_poi(t, 0)
+        with pytest.raises(AttackError):
+            select_poi(t, 11)
+
+
+class TestAverageGroups:
+    def test_mean_of_groups(self):
+        t = np.arange(12, dtype=float).reshape(6, 2)
+        out = average_groups(t, 2)
+        assert out.shape == (3, 2)
+        np.testing.assert_array_equal(out[0], t[:2].mean(axis=0))
+
+    def test_drops_leftovers(self, rng):
+        t = rng.normal(0, 1, (7, 4))
+        assert average_groups(t, 3).shape == (2, 4)
+
+    def test_too_few_traces_rejected(self, rng):
+        with pytest.raises(AttackError):
+            average_groups(rng.normal(0, 1, (2, 4)), 5)

@@ -1,0 +1,224 @@
+"""Property-based tests (hypothesis) for the core data structures and
+invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.key_rank import key_rank_bounds
+from repro.fpga.primitives import DSP48E1, LUT, to_signed, to_unsigned
+from repro.timing.delay import delay_scale
+from repro.timing.sampling import capture_probability
+from repro.victims.aes.core import AES128, SHIFT_ROWS_IDX, mix_columns, shift_rows
+from repro.victims.aes.key_schedule import expand_key, invert_key_schedule
+from repro.victims.aes.sbox import HW8, gf_mul
+
+bytes16 = st.lists(st.integers(0, 255), min_size=16, max_size=16)
+
+
+class TestTwosComplement:
+    @given(st.integers(-(2**24), 2**24 - 1), st.sampled_from([25, 27, 48]))
+    def test_roundtrip(self, value, bits):
+        assert to_signed(to_unsigned(value, bits), bits) == value
+
+    @given(st.integers(0, 2**25 - 1))
+    def test_unsigned_is_masked(self, value):
+        assert 0 <= to_unsigned(value, 25) < 2**25
+
+
+class TestGFAlgebra:
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=50)
+    def test_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=50)
+    def test_distributes_over_xor(self, a, b, c):
+        assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+    @given(st.integers(0, 255))
+    def test_closed(self, a):
+        assert 0 <= gf_mul(a, 0x1B) < 256
+
+
+class TestAESProperties:
+    @given(bytes16, bytes16)
+    @settings(max_examples=30, deadline=None)
+    def test_key_schedule_inverts(self, key, _unused):
+        key = np.array(key, dtype=np.uint8)
+        k10 = expand_key(key)[10]
+        np.testing.assert_array_equal(invert_key_schedule(k10), key)
+
+    @given(bytes16, bytes16)
+    @settings(max_examples=30, deadline=None)
+    def test_encryption_is_injective_in_plaintext(self, key, pt):
+        aes = AES128(np.array(key, dtype=np.uint8))
+        pt = np.array(pt, dtype=np.uint8)
+        pt2 = pt.copy()
+        pt2[0] ^= 1
+        assert aes.encrypt(pt) != aes.encrypt(pt2)
+
+    @given(bytes16)
+    @settings(max_examples=30, deadline=None)
+    def test_shift_rows_preserves_multiset(self, state):
+        s = np.array(state, dtype=np.uint8)[None, :]
+        out = shift_rows(s)[0]
+        assert sorted(out.tolist()) == sorted(state)
+
+    @given(bytes16)
+    @settings(max_examples=30, deadline=None)
+    def test_mix_columns_is_linear(self, state):
+        s = np.array(state, dtype=np.uint8)[None, :]
+        zero = np.zeros_like(s)
+        a = mix_columns(s)
+        b = mix_columns(s ^ s)  # = MC(0)
+        np.testing.assert_array_equal(b, mix_columns(zero))
+        # Linearity over GF(2): MC(x) ^ MC(y) == MC(x ^ y).
+        rng = np.random.default_rng(HW8[s[0]].sum())
+        t = rng.integers(0, 256, (1, 16), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            mix_columns(s) ^ mix_columns(t), mix_columns(s ^ t)
+        )
+
+    @given(bytes16, bytes16)
+    @settings(max_examples=20, deadline=None)
+    def test_round_state_chain_consistency(self, key, pt):
+        """Ciphertext from round_states always equals encrypt_blocks."""
+        aes = AES128(np.array(key, dtype=np.uint8))
+        pt = np.array(pt, dtype=np.uint8)[None, :]
+        states = aes.round_states(pt)
+        np.testing.assert_array_equal(states[:, 10], aes.encrypt_blocks(pt))
+
+    @given(bytes16, bytes16)
+    @settings(max_examples=20, deadline=None)
+    def test_last_round_hypothesis_identity(self, key, pt):
+        """The CPA's algebra holds for every key/plaintext pair."""
+        from repro.victims.aes.sbox import INV_SBOX
+
+        aes = AES128(np.array(key, dtype=np.uint8))
+        states = aes.round_states(np.array(pt, dtype=np.uint8)[None, :])
+        s9, ct = states[0, 9], states[0, 10]
+        k10 = aes.round_keys[10]
+        for j in range(16):
+            partner = int(SHIFT_ROWS_IDX[j])
+            predicted = INV_SBOX[ct[j] ^ k10[j]]
+            assert predicted == s9[partner]
+
+
+class TestDSPProperties:
+    @given(st.integers(0, 2**25 - 1), st.integers(0, 2**18 - 1))
+    @settings(max_examples=100)
+    def test_identity_config_multiplies_correctly(self, a, b):
+        dsp = DSP48E1.leakydsp_config("d")
+        p = dsp.compute(a=a, b=b)
+        expected = to_unsigned(to_signed(a, 25) * to_signed(b, 18), 48)
+        assert p == expected
+
+    @given(st.integers(0, 2**25 - 1))
+    @settings(max_examples=100)
+    def test_identity_chain_closure(self, a):
+        """Any value fed through the LeakyDSP chain config with B=1
+        comes back unchanged in the low word — the cascade invariant."""
+        dsp = DSP48E1.leakydsp_config("d")
+        mask = (1 << 25) - 1
+        value = a
+        for _ in range(3):
+            value = dsp.compute(a=value, b=1) & mask
+        assert value == a & mask
+
+
+class TestDSPGoldenModel:
+    """Cross-check the DSP48E1 functional model against an independent
+    naive evaluation of the datapath for randomized configurations."""
+
+    @given(
+        st.integers(0, 2**30 - 1),
+        st.integers(0, 2**18 - 1),
+        st.integers(0, 2**48 - 1),
+        st.integers(0, 2**25 - 1),
+        st.sampled_from([0b0000101, 0b0110101, 0b0010101]),
+        st.sampled_from(["TRUE", "FALSE"]),
+        st.sampled_from([0b0000, 0b0011]),
+    )
+    @settings(max_examples=120)
+    def test_against_naive_reference(self, a, b, c, d, opmode, dport, alumode):
+        dsp = DSP48E1(
+            "d", USE_MULT="MULTIPLY", USE_DPORT=dport,
+            OPMODE=opmode, ALUMODE=alumode,
+        )
+        pcin = 12345
+        got = dsp.compute(a=a, b=b, c=c, d=d, pcin=pcin)
+
+        # Naive reference, straight from the UG479 dataflow.
+        a25 = to_signed(a, 25)
+        ad = to_signed((to_signed(d, 25) + a25) & ((1 << 25) - 1), 25) \
+            if dport == "TRUE" else a25
+        m = ad * to_signed(b, 18)
+        z = {0b000: 0, 0b011: to_signed(c, 48), 0b001: to_signed(pcin, 48)}[
+            (opmode >> 4) & 0b111
+        ]
+        result = z + m if alumode == 0b0000 else z - m
+        assert got == result & ((1 << 48) - 1)
+
+
+class TestLUTProperties:
+    @given(st.integers(1, 4), st.data())
+    @settings(max_examples=50)
+    def test_truth_table_consistency(self, k, data):
+        init = data.draw(st.integers(0, (1 << (1 << k)) - 1))
+        lut = LUT("l", k=k, init=init)
+        for pattern in range(1 << k):
+            bits = [(pattern >> i) & 1 for i in range(k)]
+            assert lut.evaluate(*bits) == (init >> pattern) & 1
+
+
+class TestTimingProperties:
+    @given(st.floats(0.7, 1.2))
+    def test_delay_scale_positive(self, v):
+        assert delay_scale(v) > 0
+
+    @given(st.floats(0.7, 1.19))
+    def test_delay_scale_monotone(self, v):
+        assert delay_scale(v) > delay_scale(v + 0.01)
+
+    @given(
+        st.floats(0, 5e-9),
+        st.floats(0, 5e-9),
+        st.floats(1e-12, 100e-12),
+    )
+    def test_capture_probability_in_unit_interval(self, tau, phi, w):
+        p = capture_probability(tau, phi, w)
+        assert 0.0 <= p <= 1.0
+
+    @given(st.floats(1e-12, 50e-12))
+    def test_capture_symmetric_at_zero_slack(self, w):
+        assert capture_probability(1e-9, 1e-9, w) == pytest.approx(0.5)
+
+
+class TestKeyRankProperties:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_bounds_ordered_and_in_range(self, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(0, 1, (16, 256))
+        true = rng.integers(0, 256, 16)
+        lo, hi = key_rank_bounds(scores, true)
+        assert 0.0 <= lo <= hi <= 128.0
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_boosting_true_scores_never_hurts(self, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(0, 1, (16, 256))
+        true = rng.integers(0, 256, 16)
+        _, hi_before = key_rank_bounds(scores, true)
+        boosted = scores.copy()
+        boosted[np.arange(16), true] += 3.0
+        _, hi_after = key_rank_bounds(boosted, true)
+        assert hi_after <= hi_before + 1.0

@@ -1,0 +1,74 @@
+"""Tests for the RDS routing-delay sensor."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import calibrate
+from repro.errors import ConfigurationError
+from repro.fpga.placement import Pblock, Placer
+from repro.sensors.rds import RDS
+
+
+@pytest.fixture(scope="module")
+def placed_rds(basys3_device):
+    sensor = RDS(device=basys3_device, seed=1)
+    placer = Placer(basys3_device)
+    sensor.place(
+        placer, pblock=Pblock.from_region(basys3_device.region_by_name("X1Y0"))
+    )
+    calibrate(sensor, rng=0)
+    return sensor
+
+
+class TestConstruction:
+    def test_too_few_routes_rejected(self, basys3_device):
+        with pytest.raises(ConfigurationError):
+            RDS(device=basys3_device, n_routes=1)
+
+    def test_netlist_is_ffs_and_idelays_only(self, basys3_device):
+        sensor = RDS(device=basys3_device, seed=0)
+        counts = sensor.netlist().count_by_type()
+        assert set(counts) == {"FDRE", "IDELAYE2"}
+        assert counts["FDRE"] == 33  # launch + 32 captures
+
+    def test_no_combinational_loop(self, basys3_device):
+        assert RDS(device=basys3_device, seed=0).netlist().combinational_loops() == []
+
+    def test_sampling_before_place_rejected(self, basys3_device):
+        sensor = RDS(device=basys3_device, seed=0)
+        with pytest.raises(ConfigurationError):
+            sensor.bit_probabilities(np.array([1.0]))
+
+
+class TestBehaviour:
+    def test_arrival_ladder_straddles_period(self, placed_rds):
+        arrivals = placed_rds._arrival_nominal
+        period = placed_rds.clock.period
+        assert arrivals.min() < period
+        assert arrivals.max() > 0.8 * period
+
+    def test_readout_monotone_in_voltage(self, placed_rds):
+        v = np.linspace(0.94, 1.01, 20)
+        r = placed_rds.expected_readout(v)
+        assert np.all(np.diff(r) >= -1e-9)
+
+    def test_calibrated_sensitivity(self, placed_rds):
+        assert placed_rds.sensitivity() > 20
+
+    def test_droop_visible(self, placed_rds):
+        hi, lo = placed_rds.expected_readout(np.array([1.0, 0.96]))
+        assert hi - lo > 1.5
+
+    def test_detours_recorded(self, placed_rds):
+        assert placed_rds.detour_tiles.max() > 0
+
+    def test_evades_todays_checker(self, basys3_device):
+        """RDS has no loop and no carry chain: today's bitstream rules
+        accept it, like LeakyDSP (the paper's related-work argument)."""
+        from repro.defense.checker import BitstreamChecker
+        from repro.fpga.bitstream import generate_bitstream
+
+        sensor = RDS(device=basys3_device, seed=2, name="rds2")
+        placement = sensor.place(Placer(basys3_device))
+        bs = generate_bitstream(sensor.netlist(), placement)
+        assert BitstreamChecker(dsp_rules=True).accepts(bs)

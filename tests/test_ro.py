@@ -1,0 +1,65 @@
+"""Tests for the ring-oscillator counter sensor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sensors.ro import RingOscillatorSensor
+
+
+@pytest.fixture(scope="module")
+def ro(basys3_device):
+    return RingOscillatorSensor(device=basys3_device)
+
+
+class TestConstruction:
+    def test_even_loop_rejected(self, basys3_device):
+        with pytest.raises(ConfigurationError):
+            RingOscillatorSensor(device=basys3_device, n_inverters=2)
+
+    def test_nonpositive_window_rejected(self, basys3_device):
+        with pytest.raises(ConfigurationError):
+            RingOscillatorSensor(device=basys3_device, window=0.0)
+
+    def test_contains_combinational_loop(self, ro):
+        loops = ro.netlist().combinational_loops()
+        assert len(loops) >= 1
+
+    def test_longer_loop_is_slower(self, basys3_device):
+        short = RingOscillatorSensor(device=basys3_device, n_inverters=1)
+        long = RingOscillatorSensor(device=basys3_device, n_inverters=5)
+        assert long.frequency(1.0)[0] < short.frequency(1.0)[0]
+
+
+class TestBehaviour:
+    def test_frequency_drops_with_droop(self, ro):
+        f = ro.frequency(np.array([1.0, 0.95]))
+        assert f[0] > f[1]
+
+    def test_expected_readout_counts_window(self, ro):
+        f = ro.frequency(1.0)[0]
+        r = ro.expected_readout(np.array([1.0]))[0]
+        assert r == pytest.approx(f * ro.window, rel=1e-9)
+
+    def test_counter_saturates(self, basys3_device):
+        tiny = RingOscillatorSensor(
+            device=basys3_device, counter_bits=4, window=1e-3
+        )
+        r = tiny.expected_readout(np.array([1.0]))[0]
+        assert r == 15
+
+    def test_sample_quantization(self, ro, rng):
+        samples = ro.sample_readouts(np.full(500, 1.0), rng=rng)
+        expected = ro.expected_readout(np.array([1.0]))[0]
+        assert np.all(np.abs(samples - expected) <= 1.0)
+
+    def test_bit_probabilities_not_meaningful(self, ro):
+        with pytest.raises(NotImplementedError):
+            ro.bit_probabilities(np.array([1.0]))
+
+    def test_readout_std_is_quantization(self, ro):
+        assert ro.readout_std(np.array([1.0]))[0] == pytest.approx(1 / np.sqrt(12))
+
+    def test_scalar_shape_passthrough(self, ro, rng):
+        r = ro.sample_readouts(1.0, rng=rng)
+        assert r.shape == ()

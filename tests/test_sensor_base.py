@@ -1,0 +1,101 @@
+"""Tests for the shared VoltageSensor machinery: moment tables, normal
+vs exact sampling, shape handling."""
+
+import numpy as np
+import pytest
+
+from repro.core.leaky_dsp import LeakyDSP
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def sensor(basys3_device):
+    s = LeakyDSP(device=basys3_device, seed=4)
+    s.set_taps(20, 0)  # centre the capture phase
+    return s
+
+
+class TestMoments:
+    def test_expected_matches_probability_sum(self, sensor):
+        v = np.array([0.99])
+        p = sensor.bit_probabilities(v)
+        assert sensor.expected_readout(v)[0] == pytest.approx(p.sum())
+
+    def test_std_is_poisson_binomial(self, sensor):
+        v = np.array([0.99])
+        p = sensor.bit_probabilities(v)[0]
+        assert sensor.readout_std(v)[0] == pytest.approx(
+            np.sqrt((p * (1 - p)).sum())
+        )
+
+    def test_table_interpolation_matches_exact_mean(self, sensor):
+        grid, mu_t, _sigma = sensor._moments_table()
+        v = np.array([0.985])
+        exact = sensor.expected_readout(v)[0]
+        interp = np.interp(v, grid, mu_t)[0]
+        assert interp == pytest.approx(exact, abs=0.05)
+
+
+class TestSampling:
+    def test_exact_and_normal_agree_in_mean(self, sensor):
+        v = np.full(30000, 0.99)
+        exact = sensor.sample_readouts(v, rng=0, method="exact").mean()
+        normal = sensor.sample_readouts(v, rng=1, method="normal").mean()
+        assert exact == pytest.approx(normal, abs=0.25)
+
+    def test_exact_and_normal_agree_in_std(self, sensor):
+        # Compare around a noisy operating point where quantization
+        # broadens both samplers the same way.
+        rng = np.random.default_rng(2)
+        v = 0.99 + rng.normal(0, 1e-3, 30000)
+        exact = sensor.sample_readouts(v, rng=0, method="exact").std()
+        normal = sensor.sample_readouts(v, rng=1, method="normal").std()
+        assert exact == pytest.approx(normal, rel=0.25)
+
+    def test_auto_switches_to_normal_for_bulk(self, sensor):
+        v = np.full(25000, 0.99)
+        out = sensor.sample_readouts(v, rng=0, method="auto")
+        assert out.shape == v.shape  # just exercises the bulk path
+
+    def test_normal_clips_to_width(self, sensor):
+        v = np.full(1000, 1.05)  # far overvolt: all bits settle
+        out = sensor.sample_readouts(v, rng=0, method="normal")
+        assert np.all(out <= sensor.output_width)
+
+    def test_matrix_shape_preserved(self, sensor):
+        v = np.full((7, 9), 0.99)
+        out = sensor.sample_readouts(v, rng=0, method="exact")
+        assert out.shape == (7, 9)
+
+    def test_unknown_method_rejected(self, sensor):
+        with pytest.raises(ConfigurationError):
+            sensor.sample_readouts(np.array([1.0]), method="bogus")
+
+    def test_deterministic_given_rng(self, sensor):
+        v = np.full(100, 0.99)
+        a = sensor.sample_readouts(v, rng=9, method="exact")
+        b = sensor.sample_readouts(v, rng=9, method="exact")
+        np.testing.assert_array_equal(a, b)
+
+    def test_table_invalidated_on_tap_change(self, basys3_device):
+        s = LeakyDSP(device=basys3_device, seed=4)
+        s.set_taps(20, 0)
+        mu_before = s.sample_readouts(np.full(5000, 1.0), rng=0, method="normal").mean()
+        s.set_taps(0, 10)
+        mu_after = s.sample_readouts(np.full(5000, 1.0), rng=0, method="normal").mean()
+        assert abs(mu_before - mu_after) > 1.0
+
+
+class TestValidation:
+    def test_zero_width_rejected(self, basys3_device):
+        from repro.core.sensor import VoltageSensor
+
+        class Bad(VoltageSensor):
+            def netlist(self):
+                raise NotImplementedError
+
+            def bit_probabilities(self, v):
+                raise NotImplementedError
+
+        with pytest.raises(ConfigurationError):
+            Bad("bad", output_width=0)

@@ -1,0 +1,107 @@
+"""Tests for the TDC baseline sensor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga.device import SiteType
+from repro.fpga.placement import Placer
+from repro.sensors.tdc import TDC
+
+
+@pytest.fixture(scope="module")
+def tdc(basys3_device):
+    sensor = TDC(device=basys3_device, seed=1)
+    sensor.calibrate_midscale()
+    return sensor
+
+
+class TestConstruction:
+    def test_default_width(self, basys3_device):
+        assert TDC(device=basys3_device).output_width == 128
+
+    def test_stage_count_must_be_multiple_of_four(self, basys3_device):
+        with pytest.raises(ConfigurationError):
+            TDC(device=basys3_device, n_stages=126)
+
+    def test_arrival_ladder_monotone_on_average(self, basys3_device):
+        sensor = TDC(device=basys3_device, seed=0)
+        arrivals = sensor._arrival_nominal
+        # Jitter aside, the ladder climbs one stage delay per tap.
+        fit = np.polyfit(np.arange(128), arrivals, 1)
+        assert fit[0] == pytest.approx(sensor.constants.tdc_stage_delay, rel=0.1)
+
+
+class TestNetlistStructure:
+    def test_carry_chain_length(self, basys3_device):
+        nl = TDC(device=basys3_device, seed=0).netlist()
+        assert len(nl.cells_of_type("CARRY4")) == 32
+
+    def test_one_ff_per_stage(self, basys3_device):
+        nl = TDC(device=basys3_device, seed=0).netlist()
+        assert len(nl.cells_of_type("FDRE")) == 128
+
+    def test_coarse_lut_line_present(self, basys3_device):
+        nl = TDC(device=basys3_device, seed=0).netlist()
+        assert len(nl.cells_of_type("LUT")) >= 10
+
+    def test_no_combinational_loop(self, basys3_device):
+        nl = TDC(device=basys3_device, seed=0).netlist()
+        assert nl.combinational_loops() == []
+
+    def test_places_on_slices(self, basys3_device):
+        sensor = TDC(device=basys3_device, seed=0)
+        placement = sensor.place(Placer(basys3_device))
+        ff = sensor.netlist().cells_of_type("FDRE")[0]
+        assert placement.site_of(ff.name).site_type is SiteType.SLICE
+
+
+class TestReadout:
+    def test_midscale_calibration_centres(self, tdc):
+        r = tdc.expected_readout(np.array([1.0]))[0]
+        assert abs(r - 64) < 16
+
+    def test_thermometer_monotone_in_voltage(self, tdc):
+        v = np.linspace(0.9, 1.02, 30)
+        r = tdc.expected_readout(v)
+        assert np.all(np.diff(r) >= -1e-9)
+
+    def test_linearity_beats_leakydsp(self, basys3_device, tdc):
+        """The TDC's uniform tap ladder yields a near-perfectly linear
+        readout over a droop range (the paper's r = -0.996 vs -0.974)."""
+        v = np.linspace(0.965, 1.0, 20)
+        r = tdc.expected_readout(v)
+        resid = r - np.polyval(np.polyfit(v, r, 1), v)
+        assert np.abs(resid).max() < 0.5
+
+    def test_sensitivity_positive(self, tdc):
+        assert tdc.sensitivity() > 0
+
+    def test_probabilities_are_thermometer_like(self, tdc):
+        p = tdc.bit_probabilities(np.array([1.0]))[0]
+        # Early taps certain, late taps unreachable.
+        assert p[0] > 0.99
+        assert p[-1] < 0.01
+
+    def test_exact_sampling_bounds(self, tdc, rng):
+        r = tdc.sample_readouts(np.full(100, 1.0), rng=rng, method="exact")
+        assert np.all((0 <= r) & (r <= 128))
+
+
+class TestTapInterface:
+    def test_tap_plan_monotone(self, basys3_device):
+        sensor = TDC(device=basys3_device, seed=0)
+        plan = sensor.tap_plan()
+        phases = [
+            c * sensor._idelay_clk.tap_delay - a * sensor._idelay_a.tap_delay
+            for a, c in plan
+        ]
+        assert phases == sorted(phases)
+
+    def test_set_taps_shifts_readout(self, basys3_device):
+        sensor = TDC(device=basys3_device, seed=0)
+        sensor.set_taps(0, 0)
+        r0 = sensor.expected_readout(np.array([1.0]))[0]
+        sensor.set_taps(0, 16)  # later capture: edge travels further
+        r1 = sensor.expected_readout(np.array([1.0]))[0]
+        assert r1 > r0

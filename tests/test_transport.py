@@ -1,0 +1,112 @@
+"""Tests for the acquisition transport model."""
+
+import pytest
+
+from repro.errors import AcquisitionError
+from repro.timing.sampling import ClockSpec
+from repro.traces.transport import (
+    AcquisitionPlan,
+    CaptureBuffer,
+    UART_FRAME_BITS,
+    UartLink,
+)
+
+
+class TestUartLink:
+    def test_framing_overhead(self):
+        link = UartLink(baud=115_200)
+        assert link.payload_bytes_per_second == pytest.approx(11_520)
+
+    def test_transfer_time(self):
+        link = UartLink(baud=1_000_000)
+        assert link.transfer_time(100_000) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(AcquisitionError):
+            UartLink(baud=0)
+        with pytest.raises(AcquisitionError):
+            UartLink().transfer_time(-1)
+
+
+class TestCaptureBuffer:
+    def test_fits(self):
+        buf = CaptureBuffer(depth=2048)
+        assert buf.fits(2048)
+        assert not buf.fits(2049)
+        assert not buf.fits(0)
+
+    def test_window_bytes(self):
+        buf = CaptureBuffer(depth=4096, bytes_per_sample=2)
+        assert buf.window_bytes(100) == 200
+
+    def test_overflow_rejected(self):
+        with pytest.raises(AcquisitionError):
+            CaptureBuffer(depth=64).window_bytes(65)
+
+    def test_validation(self):
+        with pytest.raises(AcquisitionError):
+            CaptureBuffer(depth=0)
+
+
+class TestAcquisitionPlan:
+    @pytest.fixture()
+    def plan(self):
+        return AcquisitionPlan(
+            link=UartLink(baud=921_600),
+            buffer=CaptureBuffer(depth=4096),
+            sensor_clock=ClockSpec(300e6),
+            aes_clock=ClockSpec(20e6),
+            window_samples=195,
+        )
+
+    def test_drain_dominates_capture(self, plan):
+        """The UART drain, not the on-chip capture, bounds throughput —
+        the physical reason campaigns take minutes."""
+        assert plan.drain_time > 100 * plan.capture_time
+
+    def test_time_per_trace_sums_components(self, plan):
+        assert plan.time_per_trace == pytest.approx(
+            plan.capture_time + plan.drain_time + plan.handshake_time
+        )
+
+    def test_campaign_scales_linearly(self, plan):
+        assert plan.campaign_time(1000) == pytest.approx(1000 * plan.time_per_trace)
+
+    def test_sixty_k_campaign_is_minutes(self, plan):
+        """A 60 k-trace campaign (Table I's budget) lands in the
+        minutes regime on UART-class links — consistent with these
+        attacks being practical but not instantaneous."""
+        slow = AcquisitionPlan(
+            link=UartLink(baud=115_200),
+            buffer=plan.buffer,
+            sensor_clock=plan.sensor_clock,
+            aes_clock=plan.aes_clock,
+            window_samples=plan.window_samples,
+        )
+        assert 5 < slow.campaign_time(60_000) / 60 < 120
+        assert 1 < plan.campaign_time(60_000) / 60 < 30
+
+    def test_faster_link_speeds_campaign(self, plan):
+        fast = AcquisitionPlan(
+            link=UartLink(baud=12_000_000),
+            buffer=plan.buffer,
+            sensor_clock=plan.sensor_clock,
+            aes_clock=plan.aes_clock,
+            window_samples=plan.window_samples,
+        )
+        assert fast.time_per_trace < plan.time_per_trace
+
+    def test_window_must_fit_buffer(self):
+        with pytest.raises(AcquisitionError):
+            AcquisitionPlan(
+                link=UartLink(),
+                buffer=CaptureBuffer(depth=64),
+                sensor_clock=ClockSpec(300e6),
+                aes_clock=ClockSpec(20e6),
+                window_samples=195,
+            )
+
+    def test_describe(self, plan):
+        text = plan.describe(60_000)
+        assert "60000 traces" in text
+        assert "min" in text
