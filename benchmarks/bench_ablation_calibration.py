@@ -14,7 +14,7 @@ from repro.experiments import ablation_calib
 def test_ablation_calibration(benchmark):
     n_readouts = 1000 if full_scale() else 400
 
-    result = run_once(benchmark, ablation_calib.run, n_readouts=n_readouts)
+    result = run_once(benchmark, ablation_calib.run_ablation_calib, n_readouts=n_readouts)
 
     for p in result.points:
         benchmark.extra_info[f"R{p.region_index}_calibrated"] = round(

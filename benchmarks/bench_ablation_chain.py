@@ -16,7 +16,7 @@ def test_ablation_chain_length(benchmark):
     n_readouts = 1000 if full_scale() else 400
 
     result = run_once(
-        benchmark, ablation_chain.run, chain_lengths=lengths, n_readouts=n_readouts
+        benchmark, ablation_chain.run_ablation_chain, chain_lengths=lengths, n_readouts=n_readouts
     )
 
     swings = {p.n_blocks: p.activity_swing for p in result.points}

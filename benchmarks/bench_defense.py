@@ -13,7 +13,7 @@ from repro.experiments import defense_study
 def test_defense_study(benchmark):
     fence_sizes = (500, 2000, 8000) if full_scale() else (500, 2000)
 
-    result = run_once(benchmark, defense_study.run, fence_sizes=fence_sizes)
+    result = run_once(benchmark, defense_study.run_defense_study, fence_sizes=fence_sizes)
 
     for o in result.checker:
         ruleset = "dsp" if o.dsp_rules else "today"

@@ -12,7 +12,7 @@ from repro.experiments import fig3_sensitivity
 def test_fig3_sensitivity(benchmark):
     n_readouts = 2000 if full_scale() else 500
 
-    result = run_once(benchmark, fig3_sensitivity.run, n_readouts=n_readouts)
+    result = run_once(benchmark, fig3_sensitivity.run_fig3, n_readouts=n_readouts)
 
     for name, curve in result.curves.items():
         benchmark.extra_info[f"{name}_pearson_r"] = round(curve.pearson_r, 3)

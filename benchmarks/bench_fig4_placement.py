@@ -15,7 +15,7 @@ def test_fig4_placement(benchmark):
 
     result = run_once(
         benchmark,
-        fig4_placement.run,
+        fig4_placement.run_fig4,
         n_readouts=n_readouts,
         include_tdc=include_tdc,
     )

@@ -19,7 +19,7 @@ def test_fig5_keyrank(benchmark):
 
     result = run_once(
         benchmark,
-        fig5_keyrank.run,
+        fig5_keyrank.run_fig5,
         placements=placements,
         n_traces=n_traces,
         step=step,

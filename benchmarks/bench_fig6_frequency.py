@@ -20,7 +20,7 @@ def test_fig6_frequency(benchmark):
 
     result = run_once(
         benchmark,
-        fig6_frequency.run,
+        fig6_frequency.run_fig6,
         frequencies=frequencies,
         n_traces=n_traces,
         extension=extension,

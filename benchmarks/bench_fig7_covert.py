@@ -19,7 +19,7 @@ def test_fig7_covert(benchmark):
 
     result = run_once(
         benchmark,
-        fig7_covert.run,
+        fig7_covert.run_fig7,
         bit_times=bit_times,
         payload_bits=payload_bits,
         n_runs=n_runs,

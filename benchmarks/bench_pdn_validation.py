@@ -19,7 +19,7 @@ def test_pdn_surrogate_matches_mesh(benchmark):
     # bound is ~15% at region scale, ~30% at die scale.
     error_limit = 0.30 if full_scale() else 0.16
 
-    result = run_once(benchmark, pdn_validation.run, nx=size, ny=size)
+    result = run_once(benchmark, pdn_validation.run_pdn_validation, nx=size, ny=size)
 
     benchmark.extra_info["near_field_error"] = round(result.near_field_error, 4)
     benchmark.extra_info["fitted_floor"] = round(result.fitted_floor, 3)

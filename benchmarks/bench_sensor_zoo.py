@@ -15,7 +15,7 @@ from repro.experiments import sensor_zoo
 def test_sensor_zoo(benchmark):
     n_readouts = 1000 if full_scale() else 300
 
-    result = run_once(benchmark, sensor_zoo.run, n_readouts=n_readouts)
+    result = run_once(benchmark, sensor_zoo.run_sensor_zoo, n_readouts=n_readouts)
 
     for row in result.rows:
         benchmark.extra_info[f"{row.sensor}_granularity"] = round(row.granularity, 2)

@@ -7,9 +7,10 @@ breaks within the campaign budget, the best placement needs the fewest
 traces, and the TDC lands within/above the LeakyDSP band.
 """
 
-from conftest import full_scale, run_once
+from conftest import full_scale, run_once, worker_count
 
 from repro.experiments import common, table1_traces
+from repro.runtime import Engine
 
 
 def test_table1_traces(benchmark):
@@ -20,14 +21,20 @@ def test_table1_traces(benchmark):
         placements = ("P6", "P1")
         n_traces, step = 40_000, 5_000
 
+    workers = worker_count()
+    engine = Engine(workers=workers)
     result = run_once(
         benchmark,
-        table1_traces.run,
+        table1_traces.run_table1,
         placements=placements,
         n_traces=n_traces,
         step=step,
         include_tdc=True,
+        engine=engine,
     )
+    benchmark.extra_info["workers"] = workers
+    if engine.last_metrics is not None:
+        benchmark.extra_info["acquisition"] = engine.last_metrics.summary()
 
     for row in result.rows:
         key = f"{row.sensor}_{row.placement}"

@@ -17,6 +17,15 @@ def full_scale() -> bool:
     return os.environ.get("REPRO_FULL", "0") == "1"
 
 
+def worker_count() -> int:
+    """Acquisition workers for the benches (``REPRO_WORKERS``, default 1).
+
+    Results are deterministic in the seed regardless of this value; it
+    only changes wall clock.
+    """
+    return int(os.environ.get("REPRO_WORKERS", "1"))
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under the benchmark clock
     (experiments are minutes-long; multiple rounds would be wasteful)."""

@@ -1,32 +1,60 @@
-"""Run every experiment at paper scale and record the results.
+"""Run every registered experiment and record the results.
 
 Writes ``results/full_results.txt`` (human-readable, the source for
 EXPERIMENTS.md) and ``results/full_results.json``.
+
+Experiments run through :mod:`repro.experiments.registry` on the
+parallel acquisition runtime::
+
+    PYTHONPATH=src python scripts/run_full_experiments.py --workers 4
+    PYTHONPATH=src python scripts/run_full_experiments.py --scale quick
+
+Results are deterministic in ``--seed`` regardless of ``--workers``.
 """
 
+import argparse
 import json
-import os
 import sys
 import time
 from pathlib import Path
 
 OUT_DIR = Path(__file__).resolve().parent.parent / "results"
-OUT_DIR.mkdir(exist_ok=True)
 
 
-def main() -> None:
-    from repro.experiments import (
-        ablation_calib,
-        ablation_chain,
-        defense_study,
-        fig3_sensitivity,
-        fig4_placement,
-        fig5_keyrank,
-        fig6_frequency,
-        fig7_covert,
-        table1_traces,
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "paper"),
+        default="paper",
+        help="workload scale (default: paper)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="acquisition worker processes (default: 1)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print shard-level progress while acquiring",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root seed")
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="run only these experiments (default: all registered)",
+    )
+    return parser
 
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    from repro.experiments import registry
+
+    OUT_DIR.mkdir(exist_ok=True)
     report = {}
     lines = []
 
@@ -34,86 +62,39 @@ def main() -> None:
         lines.append(msg)
         print(msg, flush=True)
 
+    names = args.only if args.only else registry.names()
+    unknown = [n for n in names if n not in registry.names()]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    def on_progress(event):
+        print(f"  {event.kind}: {event.done}/{event.total}", flush=True)
+
     t0 = time.time()
-
-    log("== Fig. 3 (full: 2000 readouts/level) ==")
-    r3 = fig3_sensitivity.run(n_readouts=2000)
-    for name, c in r3.curves.items():
-        log(f"  {name}: r={c.pearson_r:+.3f} coef={c.regression_coefficient:+.2f}")
-        report[f"fig3_{name}"] = {
-            "pearson": round(c.pearson_r, 4),
-            "coef_per_1k": round(c.regression_coefficient, 3),
-            "readouts": [round(m, 2) for m in c.mean_readouts],
+    for name in names:
+        spec = registry.get(name)
+        log(f"== {name}: {spec.title} [{time.time() - t0:.0f}s] ==")
+        config = registry.ExperimentConfig(
+            scale=args.scale,
+            seed=args.seed,
+            workers=args.workers,
+            progress=on_progress if args.progress else None,
+        )
+        result = registry.run(name, config)
+        for line in result.lines():
+            log(f"  {line}")
+        report[name] = {
+            "metrics": result.metrics,
+            "metadata": result.metadata,
+            "seconds": round(result.seconds, 2),
         }
 
-    log("== Fig. 4 (full: 2000 readouts, both sensors) ==")
-    r4 = fig4_placement.run(n_readouts=2000, include_tdc=True)
-    for name, pts in r4.points.items():
-        deltas = {p.region_index: round(p.delta, 2) for p in pts}
-        log(f"  {name}: {deltas} best=R{r4.best_region(name)}")
-        report[f"fig4_{name}"] = deltas
-
-    log(f"== Table I (full: 8 placements x 60k, step 2000) [{time.time()-t0:.0f}s] ==")
-    r1 = table1_traces.run(n_traces=60_000, step=2_000, include_tdc=True)
-    for row in r1.rows:
-        log(f"  {row.placement} {row.sensor}: {row.traces_to_break or f'>{row.n_collected}'}")
-        report[f"table1_{row.sensor}_{row.placement}"] = row.traces_to_break
-    report["table1_band"] = r1.leakydsp_band()
-
-    log(f"== Fig. 5 (full: 5 placements) [{time.time()-t0:.0f}s] ==")
-    r5 = fig5_keyrank.run(n_traces=60_000, step=2_000)
-    for name in r5.curves:
-        n, lo, hi = r5.series(name)
-        rank20k = r5.rank_at_rating_point(name)
-        log(f"  {name}: rank@20k={rank20k:.1f} final_upper={hi[-1]:.1f}")
-        report[f"fig5_{name}"] = {
-            "rank_at_20k": round(float(rank20k), 2),
-            "curve_n": [int(x) for x in n[::5]],
-            "curve_hi": [round(float(x), 1) for x in hi[::5]],
-        }
-
-    log(f"== Fig. 6 (full: 4 frequencies at P6) [{time.time()-t0:.0f}s] ==")
-    r6 = fig6_frequency.run(n_traces=60_000, extension=20_000, step=2_000)
-    for p in r6.points:
-        log(f"  {p.frequency_hz/1e6:.0f} MHz: {p.traces_to_break or f'>{p.n_collected}'}"
-            f"{' (extended)' if p.extended else ''}")
-        report[f"fig6_{p.frequency_hz/1e6:.0f}MHz"] = p.traces_to_break
-
-    log(f"== Fig. 7 (full: 8 bit times, 10 kb, 10 runs) [{time.time()-t0:.0f}s] ==")
-    r7 = fig7_covert.run(payload_bits=10_000, n_runs=10)
-    for p in r7.points:
-        log(f"  {p.bit_time*1e3:.1f} ms: BER {p.ber*100:.2f}% TR {p.transmission_rate:.2f} b/s")
-        report[f"fig7_{p.bit_time*1e3:.1f}ms"] = {
-            "ber_pct": round(p.ber * 100, 3),
-            "tr": round(p.transmission_rate, 2),
-        }
-
-    log(f"== Ablations [{time.time()-t0:.0f}s] ==")
-    rc = ablation_chain.run(n_readouts=1000)
-    for p in rc.points:
-        log(f"  n={p.n_blocks}: swing={p.activity_swing:.1f} cal_step={p.calibration_step:.2f}")
-        report[f"ablation_chain_n{p.n_blocks}"] = round(p.activity_swing, 2)
-    ra = ablation_calib.run(n_readouts=1000)
-    for p in ra.points:
-        log(f"  R{p.region_index}: cal={p.swing_calibrated:.1f} raw={p.swing_uncalibrated:.1f}")
-        report[f"ablation_calib_R{p.region_index}"] = {
-            "calibrated": round(p.swing_calibrated, 2),
-            "uncalibrated": round(p.swing_uncalibrated, 2),
-        }
-
-    log("== Defense study ==")
-    rd = defense_study.run()
-    for o in rd.checker:
-        log(f"  {o.design} ({'dsp' if o.dsp_rules else 'today'}): "
-            f"{'ACCEPT' if o.accepted else 'REJECT ' + ','.join(o.rules_fired)}")
-    for f in rd.fence:
-        log(f"  fence {f.n_instances}: x{f.trace_inflation:.2f} traces")
-        report[f"fence_{f.n_instances}"] = round(f.trace_inflation, 2)
-
-    log(f"== done in {time.time()-t0:.0f}s ==")
+    log(f"== done in {time.time() - t0:.0f}s ==")
     (OUT_DIR / "full_results.txt").write_text("\n".join(lines) + "\n")
     (OUT_DIR / "full_results.json").write_text(json.dumps(report, indent=2))
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

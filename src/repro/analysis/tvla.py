@@ -90,7 +90,7 @@ def assess_aes_leakage(
     if fixed_pt.shape != (16,):
         raise AttackError("fixed plaintext must be 16 bytes")
 
-    random_set = acquisition.collect(n_traces_per_class, key, rng=rng)
+    random_set = acquisition.collect(n_traces_per_class, key=key, rng=rng)
 
     # Fixed-class traces: drive the harness components directly with a
     # repeated plaintext.

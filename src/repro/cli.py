@@ -4,46 +4,24 @@ Usage::
 
     python -m repro.cli list
     python -m repro.cli fig3
-    python -m repro.cli table1
+    python -m repro.cli table1 --workers 4 --progress
     REPRO_FULL=1 python -m repro.cli all
+
+Experiments are resolved through :mod:`repro.experiments.registry` and
+run on the parallel acquisition runtime (:class:`repro.runtime.Engine`).
+Results are deterministic in ``--seed`` at any ``--workers`` count.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
-from typing import Callable, Dict
 
 
-def _experiment_mains() -> Dict[str, Callable[[], None]]:
-    from repro.experiments import (
-        ablation_calib,
-        ablation_chain,
-        defense_study,
-        fig3_sensitivity,
-        fig4_placement,
-        fig5_keyrank,
-        fig6_frequency,
-        fig7_covert,
-        pdn_validation,
-        sensor_zoo,
-        table1_traces,
-    )
-
-    return {
-        "fig3": fig3_sensitivity.main,
-        "fig4": fig4_placement.main,
-        "table1": table1_traces.main,
-        "fig5": fig5_keyrank.main,
-        "fig6": fig6_frequency.main,
-        "fig7": fig7_covert.main,
-        "ablation-chain": ablation_chain.main,
-        "ablation-calib": ablation_calib.main,
-        "defense": defense_study.main,
-        "pdn-validation": pdn_validation.main,
-        "sensor-zoo": sensor_zoo.main,
-    }
+def _default_scale() -> str:
+    return "paper" if os.environ.get("REPRO_FULL", "0") == "1" else "quick"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,42 +30,109 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description=(
             "Reproduce LeakyDSP (DAC 2025) experiments on the simulated "
-            "FPGA substrate.  Set REPRO_FULL=1 for paper-scale workloads."
+            "FPGA substrate.  Set REPRO_FULL=1 (or --scale paper) for "
+            "paper-scale workloads."
         ),
     )
     parser.add_argument(
         "experiment",
-        help=(
-            "experiment to run: one of "
-            f"{', '.join(sorted(_experiment_mains()))}, 'all', or 'list'"
-        ),
+        help="experiment to run (see 'list'), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="acquisition worker processes (default: 1, the serial path)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print shard-level progress while acquiring",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "paper"),
+        default=None,
+        help="workload scale (default: quick, or paper when REPRO_FULL=1)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="root seed; pins the whole run at any worker count",
+    )
+    parser.add_argument(
+        "--shard-size",
+        type=int,
+        default=4096,
+        help="traces/readouts per engine shard",
     )
     return parser
+
+
+def _progress_printer(name: str):
+    def on_progress(event) -> None:
+        print(
+            f"  [{name}] {event.kind}: {event.done}/{event.total}",
+            file=sys.stderr,
+        )
+
+    return on_progress
+
+
+def _run_one(name: str, args) -> None:
+    from repro.experiments import registry
+
+    spec = registry.get(name)
+    config = registry.ExperimentConfig(
+        scale=args.scale or _default_scale(),
+        seed=args.seed,
+        workers=args.workers,
+        shard_size=args.shard_size,
+        progress=_progress_printer(name) if args.progress else None,
+    )
+    result = registry.run(name, config)
+    print(spec.title)
+    for line in result.lines():
+        print(line)
+    if result.metrics:
+        metrics = ", ".join(f"{k}={v}" for k, v in result.metrics.items())
+        print(f"metrics: {metrics}")
+    print(
+        f"[{name}] scale={config.scale} seed={config.seed} "
+        f"workers={config.workers} in {result.seconds:.1f}s"
+    )
 
 
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    mains = _experiment_mains()
+    from repro.errors import ReproError
+    from repro.experiments import registry
 
-    if args.experiment == "list":
-        for name in sorted(mains):
-            print(name)
-        return 0
-    if args.experiment == "all":
-        t0 = time.time()
-        for name in sorted(mains):
-            print(f"\n===== {name} =====")
-            mains[name]()
-        print(f"\nall experiments done in {time.time() - t0:.0f}s")
-        return 0
-    if args.experiment not in mains:
-        print(
-            f"unknown experiment {args.experiment!r}; try 'list'",
-            file=sys.stderr,
-        )
+    known = registry.names()
+    try:
+        if args.experiment == "list":
+            for name in known:
+                print(name)
+            return 0
+        if args.experiment == "all":
+            t0 = time.time()
+            for name in known:
+                print(f"\n===== {name} =====")
+                _run_one(name, args)
+            print(f"\nall experiments done in {time.time() - t0:.0f}s")
+            return 0
+        if args.experiment not in known:
+            print(
+                f"unknown experiment {args.experiment!r}; try 'list'",
+                file=sys.stderr,
+            )
+            return 2
+        _run_one(args.experiment, args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
-    mains[args.experiment]()
     return 0
 
 

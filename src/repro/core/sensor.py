@@ -21,7 +21,8 @@ suite).  ``"auto"`` switches on sample count.
 from __future__ import annotations
 
 import abc
-from typing import Optional, Tuple
+import enum
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
@@ -33,6 +34,29 @@ from repro.fpga.placement import Pblock, Placement, Placer
 #: Above this many requested samples, "auto" switches to the normal
 #: approximation.
 AUTO_EXACT_LIMIT = 20_000
+
+
+class SamplingMethod(str, enum.Enum):
+    """How :meth:`VoltageSensor.sample_readouts` draws readouts.
+
+    The members are plain strings, so the historical string arguments
+    (``"exact"``, ``"normal"``, ``"auto"``) keep working unchanged.
+    """
+
+    EXACT = "exact"
+    NORMAL = "normal"
+    AUTO = "auto"
+
+
+def resolve_sampling_method(method: Union[str, SamplingMethod]) -> SamplingMethod:
+    """Validate a sampling-method argument (string or enum member)."""
+    try:
+        return SamplingMethod(method)
+    except ValueError:
+        raise ConfigurationError(
+            f"unknown sampling method {method!r}; expected one of "
+            f"{[m.value for m in SamplingMethod]}"
+        ) from None
 
 #: Voltage grid used for the moments lookup table, as fractions of the
 #: nominal supply.
@@ -115,6 +139,17 @@ class VoltageSensor(abc.ABC):
         """Drop the cached moments table (call after changing taps)."""
         self._table = None
 
+    def precompute_moments(self) -> None:
+        """Build (and cache) the voltage->moments table now.
+
+        The table is otherwise built lazily on the first ``"normal"``
+        sampling call.  The acquisition engine calls this before
+        shipping a sensor to worker processes, so every worker inherits
+        the precomputed table instead of redoing the
+        ``O(TABLE_POINTS x output_width)`` probability sweep.
+        """
+        self._moments_table()
+
     def _moments_table(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         if self._table is None:
             v_nom = self.constants.v_nominal
@@ -131,10 +166,13 @@ class VoltageSensor(abc.ABC):
     def sample_readouts(
         self,
         voltages,
+        *,
         rng: RngLike = None,
-        method: str = "auto",
+        method: Union[str, SamplingMethod] = SamplingMethod.AUTO,
     ) -> np.ndarray:
         """Draw noisy integer readouts for an array of supply voltages.
+
+        All arguments after ``voltages`` are keyword-only.
 
         Parameters
         ----------
@@ -143,26 +181,30 @@ class VoltageSensor(abc.ABC):
         rng:
             Randomness source.
         method:
+            A :class:`SamplingMethod` or its string value:
             ``"exact"`` (per-bit Bernoulli), ``"normal"``
             (moment-matched normal, table-interpolated) or ``"auto"``.
         """
         rng = make_rng(rng)
+        method = resolve_sampling_method(method)
         v = np.asarray(voltages, dtype=float)
         flat = np.atleast_1d(v).ravel()
-        if method == "auto":
-            method = "exact" if flat.size <= AUTO_EXACT_LIMIT else "normal"
-        if method == "exact":
+        if method is SamplingMethod.AUTO:
+            method = (
+                SamplingMethod.EXACT
+                if flat.size <= AUTO_EXACT_LIMIT
+                else SamplingMethod.NORMAL
+            )
+        if method is SamplingMethod.EXACT:
             p = self.bit_probabilities(flat)
             bits = rng.random(p.shape) < p
             out = bits.sum(axis=1).astype(np.int64)
-        elif method == "normal":
+        else:
             grid, mu_t, sigma_t = self._moments_table()
             mu = np.interp(flat, grid, mu_t)
             sigma = np.interp(flat, grid, sigma_t)
             draw = rng.normal(mu, np.maximum(sigma, 1e-9))
             out = np.clip(np.rint(draw), 0, self.output_width).astype(np.int64)
-        else:
-            raise ConfigurationError(f"unknown sampling method {method!r}")
         return out.reshape(np.shape(v)) if np.ndim(v) else out.reshape(())
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

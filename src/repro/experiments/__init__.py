@@ -16,12 +16,17 @@ pdn_validation    (ablation) PDN surrogate vs. RC-mesh reference
 sensor_zoo        (extension) LeakyDSP/TDC/RDS/RO on one workload
 ================  =====================================================
 
-Every module exposes ``run(...) -> <Result>`` returning a structured
-result and a ``main()`` that prints the paper-style rows.  Benchmarks in
-``benchmarks/`` call ``run`` with scaled-down defaults; set
+Every module registers itself with :mod:`repro.experiments.registry`
+and exposes the uniform entry point ``run(config: ExperimentConfig,
+engine: Engine) -> ExperimentResult``; the historical keyword signature
+(``run(n_readouts=...)``) still works through a deprecation shim and
+the underlying implementation lives on as ``run_<name>`` (accepting an
+optional ``engine=`` for parallel acquisition).  Each module also keeps
+a ``main()`` that prints the paper-style rows.  Benchmarks in
+``benchmarks/`` call ``run_<name>`` with scaled-down defaults; set
 ``REPRO_FULL=1`` to run paper-scale workloads.
 """
 
 from repro.experiments import common
 
-__all__ = ["common"]
+__all__ = ["common", "registry"]

@@ -15,13 +15,15 @@ the edge and work, others saturate and sense almost nothing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.config import RngLike, make_rng
 from repro.core import LeakyDSP, calibrate
-from repro.experiments import common
+from repro.experiments import common, registry
+from repro.runtime import Engine
+from repro.runtime.sharding import root_sequence
 from repro.traces.acquisition import characterize_readouts
 
 
@@ -61,23 +63,40 @@ class AblationCalibResult:
         return out
 
 
-def _swing(sensor, setup, virus, n_readouts, rng) -> float:
-    off = characterize_readouts(sensor, setup.coupling, virus, 0, n_readouts, rng=rng)
-    on = characterize_readouts(
-        sensor, setup.coupling, virus, virus.n_groups, n_readouts, rng=rng
-    )
+def _swing(sensor, setup, virus, n_readouts, rng=None, engine=None, seeds=None) -> float:
+    if engine is None:
+        off = characterize_readouts(
+            sensor, setup.coupling, virus, 0, n_readouts, rng=rng
+        )
+        on = characterize_readouts(
+            sensor, setup.coupling, virus, virus.n_groups, n_readouts, rng=rng
+        )
+    else:
+        off = engine.characterize(
+            sensor, setup.coupling, virus, 0, n_readouts, seed=next(seeds)
+        )
+        on = engine.characterize(
+            sensor, setup.coupling, virus, virus.n_groups, n_readouts, seed=next(seeds)
+        )
     return float(np.mean(off) - np.mean(on))
 
 
-def run(
+def run_ablation_calib(
     n_readouts: int = 1000,
     seed: int = 7,
     rng: RngLike = 31,
+    engine: Optional[Engine] = None,
 ) -> AblationCalibResult:
     """Measure calibrated vs. uncalibrated swings across the six
     regions.  Each region uses a distinct sensor seed, so the
     uncalibrated phase is a representative sample of process spread."""
-    rng = make_rng(rng)
+    if engine is None:
+        gen = make_rng(rng)
+        seeds = None
+    else:
+        # Per region: calibrate + 2x2 characterize calls.
+        seeds = iter(root_sequence(rng).spawn(5 * len(common.FIG4_REGIONS)))
+        gen = None
     setup = common.Basys3Setup.create()
     virus = common.make_virus(setup)
     result = AblationCalibResult()
@@ -91,9 +110,14 @@ def run(
             name=f"leakydsp_cal_{index}",
         )
         sensor.place(setup.placer, pblock=pblock)
-        swing_raw = _swing(sensor, setup, virus, n_readouts, rng)
-        calibrate(sensor, rng=rng)
-        swing_cal = _swing(sensor, setup, virus, n_readouts, rng)
+        cal_rng = gen if engine is None else make_rng(next(seeds))
+        swing_raw = _swing(
+            sensor, setup, virus, n_readouts, rng=gen, engine=engine, seeds=seeds
+        )
+        calibrate(sensor, rng=cal_rng)
+        swing_cal = _swing(
+            sensor, setup, virus, n_readouts, rng=gen, engine=engine, seeds=seeds
+        )
         result.points.append(
             CalibPoint(
                 region_index=index,
@@ -104,16 +128,47 @@ def run(
     return result
 
 
-def main() -> None:
-    """Print the calibration ablation."""
-    result = run()
-    print("Ablation — IDELAY calibration vs. none (readout swing, 8 groups)")
-    for line in result.formatted():
-        print(line)
-    print(
+def render(result: AblationCalibResult) -> List[str]:
+    """Report lines."""
+    lines = list(result.formatted())
+    lines.append(
         f"worst-case swing: calibrated {result.worst_calibrated_swing:.1f}, "
         f"uncalibrated {result.worst_uncalibrated_swing:.1f}"
     )
+    return lines
+
+
+def _metrics(result: AblationCalibResult) -> Dict[str, float]:
+    return {
+        "worst_calibrated_swing": round(result.worst_calibrated_swing, 2),
+        "worst_uncalibrated_swing": round(result.worst_uncalibrated_swing, 2),
+    }
+
+
+@registry.register(
+    "ablation-calib",
+    title="Ablation — IDELAY calibration vs. none (readout swing, 8 groups)",
+    renderer=render,
+    metrics=_metrics,
+)
+def _run_protocol(
+    config: registry.ExperimentConfig, engine: Engine
+) -> AblationCalibResult:
+    params = config.params(quick={"n_readouts": 300}, paper={})
+    return run_ablation_calib(
+        rng=np.random.SeedSequence(config.seed), engine=engine, **params
+    )
+
+
+run = registry.protocol_entry("ablation-calib", run_ablation_calib)
+
+
+def main() -> None:
+    """Print the calibration ablation."""
+    result = run_ablation_calib()
+    print("Ablation — IDELAY calibration vs. none (readout swing, 8 groups)")
+    for line in render(result):
+        print(line)
 
 
 if __name__ == "__main__":

@@ -15,14 +15,16 @@ three quantities that trade off:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.config import RngLike, make_rng
 from repro.core import LeakyDSP, calibrate
 from repro.errors import CalibrationError
-from repro.experiments import common
+from repro.experiments import common, registry
+from repro.runtime import Engine
+from repro.runtime.sharding import root_sequence
 from repro.traces.acquisition import characterize_readouts
 
 
@@ -55,14 +57,36 @@ class AblationChainResult:
         return out
 
 
-def run(
+def run_ablation_chain(
     chain_lengths: Sequence[int] = (1, 2, 3, 4, 5, 6),
     n_readouts: int = 1000,
     seed: int = 7,
     rng: RngLike = 29,
+    engine: Optional[Engine] = None,
 ) -> AblationChainResult:
     """Sweep the DSP chain length on the Fig. 3 testbed."""
-    rng = make_rng(rng)
+    if engine is None:
+        gen = make_rng(rng)
+
+        def calibration_rng(_seq):
+            return gen
+
+        def sample(sensor, virus, level, _seq, setup):
+            return characterize_readouts(
+                sensor, setup.coupling, virus, level, n_readouts, rng=gen
+            )
+
+    else:
+        seeds = iter(root_sequence(rng).spawn(3 * len(chain_lengths)))
+
+        def calibration_rng(seq):
+            return make_rng(seq)
+
+        def sample(sensor, virus, level, seq, setup):
+            return engine.characterize(
+                sensor, setup.coupling, virus, level, n_readouts, seed=seq
+            )
+
     result = AblationChainResult()
     for n in chain_lengths:
         setup = common.Basys3Setup.create()
@@ -77,19 +101,20 @@ def run(
             name=f"leakydsp_n{n}",
         )
         sensor.place(setup.placer, pblock=pblock)
+        cal_seq, off_seq, on_seq = (
+            (None, None, None)
+            if engine is None
+            else (next(seeds), next(seeds), next(seeds))
+        )
         try:
-            cal = calibrate(sensor, rng=rng)
+            cal = calibrate(sensor, rng=calibration_rng(cal_seq))
             calibrated = True
             step = cal.best_step
         except CalibrationError:
             calibrated = False
             step = 0.0
-        off = characterize_readouts(
-            sensor, setup.coupling, virus, 0, n_readouts, rng=rng
-        )
-        on = characterize_readouts(
-            sensor, setup.coupling, virus, virus.n_groups, n_readouts, rng=rng
-        )
+        off = sample(sensor, virus, 0, off_seq, setup)
+        on = sample(sensor, virus, virus.n_groups, on_seq, setup)
         result.points.append(
             ChainPoint(
                 n_blocks=n,
@@ -103,11 +128,44 @@ def run(
     return result
 
 
+def render(result: AblationChainResult) -> List[str]:
+    """Report lines."""
+    return list(result.formatted())
+
+
+def _metrics(result: AblationChainResult) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for p in result.points:
+        out[f"n{p.n_blocks}_swing"] = round(p.activity_swing, 2)
+        out[f"n{p.n_blocks}_calibrated"] = p.calibrated
+    return out
+
+
+@registry.register(
+    "ablation-chain",
+    title="Ablation — DSP chain length (paper picks n = 3)",
+    renderer=render,
+    metrics=_metrics,
+)
+def _run_protocol(
+    config: registry.ExperimentConfig, engine: Engine
+) -> AblationChainResult:
+    params = config.params(
+        quick={"chain_lengths": (1, 3), "n_readouts": 300}, paper={}
+    )
+    return run_ablation_chain(
+        rng=np.random.SeedSequence(config.seed), engine=engine, **params
+    )
+
+
+run = registry.protocol_entry("ablation-chain", run_ablation_chain)
+
+
 def main() -> None:
     """Print the chain-length ablation."""
-    result = run()
+    result = run_ablation_chain()
     print("Ablation — DSP chain length (paper picks n = 3)")
-    for line in result.formatted():
+    for line in render(result):
         print(line)
 
 

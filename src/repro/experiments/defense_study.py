@@ -27,10 +27,11 @@ from repro.config import RngLike, make_rng
 from repro.core import LeakyDSP, calibrate
 from repro.defense.checker import BitstreamChecker, Finding
 from repro.defense.fence import ActiveFence
-from repro.experiments import common
+from repro.experiments import common, registry
 from repro.fpga.bitstream import generate_bitstream
 from repro.fpga.placement import Placer
 from repro.pdn.noise import NoiseModel
+from repro.runtime import Engine
 from repro.sensors import RingOscillatorSensor, TDC
 
 
@@ -105,12 +106,16 @@ def _sensor_bitstreams(seed: int) -> Dict[str, object]:
     return designs
 
 
-def run(
+def run_defense_study(
     fence_sizes: Tuple[int, ...] = (500, 2000, 8000),
     seed: int = 7,
     rng: RngLike = 37,
 ) -> DefenseStudyResult:
-    """Run both defense studies."""
+    """Run both defense studies.
+
+    Both studies are analytic (checker rules and the fence noise model)
+    rather than trace campaigns, so the acquisition engine is unused.
+    """
     rng = make_rng(rng)
     result = DefenseStudyResult()
 
@@ -158,12 +163,44 @@ def run(
     return result
 
 
+def render(result: DefenseStudyResult) -> List[str]:
+    """Report lines."""
+    lines = ["(paper: today's checks miss LeakyDSP; DSP rules would catch it)"]
+    lines.extend(result.formatted())
+    return lines
+
+
+def _metrics(result: DefenseStudyResult) -> Dict[str, object]:
+    out: Dict[str, object] = {
+        "leakydsp_evades_today": result.outcome("LeakyDSP", False).accepted,
+        "leakydsp_caught_by_dsp_rules": not result.outcome("LeakyDSP", True).accepted,
+    }
+    for f in result.fence:
+        out[f"fence_{f.n_instances}_inflation"] = round(f.trace_inflation, 3)
+    return out
+
+
+@registry.register(
+    "defense",
+    title="Section V — defense study",
+    renderer=render,
+    metrics=_metrics,
+)
+def _run_protocol(
+    config: registry.ExperimentConfig, engine: Engine
+) -> DefenseStudyResult:
+    params = config.params(quick={"fence_sizes": (500, 2000)}, paper={})
+    return run_defense_study(rng=np.random.default_rng(config.seed), **params)
+
+
+run = registry.protocol_entry("defense", run_defense_study)
+
+
 def main() -> None:
     """Print the defense study."""
-    result = run()
+    result = run_defense_study()
     print("Section V — defense study")
-    print("(paper: today's checks miss LeakyDSP; DSP rules would catch it)")
-    for line in result.formatted():
+    for line in render(result):
         print(line)
 
 

@@ -14,13 +14,15 @@ coefficient -1.09.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.analysis.stats import linear_regression
 from repro.config import RngLike, make_rng
-from repro.experiments import common
+from repro.experiments import common, registry
+from repro.runtime import Engine
+from repro.runtime.sharding import root_sequence
 from repro.traces.acquisition import characterize_readouts
 
 
@@ -54,20 +56,22 @@ class Fig3Result:
         return out
 
 
-def run(
+def run_fig3(
     n_instances: int = 8000,
     n_groups: int = 8,
     n_readouts: int = 2000,
     seed: int = 7,
     rng: RngLike = 17,
+    engine: Optional[Engine] = None,
 ) -> Fig3Result:
     """Reproduce Fig. 3.
 
     Both sensors are placed in the same region (the paper's fixed
     "given placement"): LeakyDSP in region 2's DSP columns, the TDC in
-    region 2's fabric.
+    region 2's fabric.  With an ``engine``, readout sampling runs on
+    the sharded acquisition runtime (``rng`` must then be an integer
+    seed or a :class:`numpy.random.SeedSequence`).
     """
-    rng = make_rng(rng)
     setup = common.Basys3Setup.create()
     virus = common.make_virus(setup, n_instances, n_groups)
     pblock = common.region_pblock(setup.device, 2)
@@ -77,15 +81,26 @@ def run(
     }
 
     levels = list(range(n_groups + 1))
+    if engine is None:
+        gen = make_rng(rng)
+
+        def sample(sensor, level):
+            return characterize_readouts(
+                sensor, setup.coupling, virus, level, n_readouts, rng=gen
+            )
+
+    else:
+        seeds = iter(root_sequence(rng).spawn(len(sensors) * len(levels)))
+
+        def sample(sensor, level):
+            return engine.characterize(
+                sensor, setup.coupling, virus, level, n_readouts, seed=next(seeds)
+            )
+
     instances_per_group = n_instances // n_groups
     result = Fig3Result()
     for name, sensor in sensors.items():
-        means = []
-        for level in levels:
-            readouts = characterize_readouts(
-                sensor, setup.coupling, virus, level, n_readouts, rng=rng
-            )
-            means.append(float(np.mean(readouts)))
+        means = [float(np.mean(sample(sensor, level))) for level in levels]
         active_counts = np.array(levels) * instances_per_group
         reg = linear_regression(active_counts, means)
         result.curves[name] = SensorCurve(
@@ -98,16 +113,44 @@ def run(
     return result
 
 
-def main() -> None:
-    """Print the Fig. 3 reproduction."""
-    result = run()
-    print("Fig. 3 — sensitivity under different victim activities")
-    print("(paper: LeakyDSP r=-0.974 coef=-3.45; TDC r=-0.996 coef=-1.09)")
-    for row in result.rows():
-        print(row)
+def render(result: Fig3Result) -> List[str]:
+    """Paper-style report lines."""
+    lines = ["(paper: LeakyDSP r=-0.974 coef=-3.45; TDC r=-0.996 coef=-1.09)"]
+    lines.extend(result.rows())
     for curve in result.curves.values():
         readouts = ", ".join(f"{m:.1f}" for m in curve.mean_readouts)
-        print(f"{curve.sensor:>8} readouts by level: {readouts}")
+        lines.append(f"{curve.sensor:>8} readouts by level: {readouts}")
+    return lines
+
+
+def _metrics(result: Fig3Result) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for name, curve in result.curves.items():
+        out[f"{name}_pearson_r"] = round(curve.pearson_r, 4)
+        out[f"{name}_coef_per_1k"] = round(curve.regression_coefficient, 3)
+    return out
+
+
+@registry.register(
+    "fig3",
+    title="Fig. 3 — sensitivity under different victim activities",
+    renderer=render,
+    metrics=_metrics,
+)
+def _run_protocol(config: registry.ExperimentConfig, engine: Engine) -> Fig3Result:
+    params = config.params(quick={"n_readouts": 300}, paper={})
+    return run_fig3(rng=np.random.SeedSequence(config.seed), engine=engine, **params)
+
+
+run = registry.protocol_entry("fig3", run_fig3)
+
+
+def main() -> None:
+    """Print the Fig. 3 reproduction."""
+    result = run_fig3()
+    print("Fig. 3 — sensitivity under different victim activities")
+    for line in render(result):
+        print(line)
 
 
 if __name__ == "__main__":

@@ -14,12 +14,14 @@ clearly sensitive.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.config import RngLike, make_rng
-from repro.experiments import common
+from repro.experiments import common, registry
+from repro.runtime import Engine
+from repro.runtime.sharding import root_sequence
 from repro.traces.acquisition import characterize_readouts
 
 
@@ -59,35 +61,48 @@ class Fig4Result:
         return out
 
 
-def run(
+def run_fig4(
     n_instances: int = 8000,
     n_groups: int = 8,
     n_readouts: int = 2000,
     seed: int = 7,
     rng: RngLike = 23,
     include_tdc: bool = True,
+    engine: Optional[Engine] = None,
 ) -> Fig4Result:
     """Reproduce Fig. 4 for LeakyDSP (and optionally the TDC)."""
-    rng = make_rng(rng)
     setup = common.Basys3Setup.create()
     virus = common.make_virus(setup, n_instances, n_groups)
 
-    result = Fig4Result()
     sensor_makers = {"LeakyDSP": common.make_leakydsp}
     if include_tdc:
         sensor_makers["TDC"] = common.make_tdc
 
+    if engine is None:
+        gen = make_rng(rng)
+
+        def sample(sensor, level):
+            return characterize_readouts(
+                sensor, setup.coupling, virus, level, n_readouts, rng=gen
+            )
+
+    else:
+        n_calls = 2 * len(sensor_makers) * len(common.FIG4_REGIONS)
+        seeds = iter(root_sequence(rng).spawn(n_calls))
+
+        def sample(sensor, level):
+            return engine.characterize(
+                sensor, setup.coupling, virus, level, n_readouts, seed=next(seeds)
+            )
+
+    result = Fig4Result()
     for name, maker in sensor_makers.items():
         points: List[PlacementPoint] = []
         for index, region_name in common.FIG4_REGIONS.items():
             pblock = common.region_pblock(setup.device, index)
             sensor = maker(setup, pblock, seed=seed + index)
-            off = characterize_readouts(
-                sensor, setup.coupling, virus, 0, n_readouts, rng=rng
-            )
-            on = characterize_readouts(
-                sensor, setup.coupling, virus, n_groups, n_readouts, rng=rng
-            )
+            off = sample(sensor, 0)
+            on = sample(sensor, n_groups)
             points.append(
                 PlacementPoint(
                     region_index=index,
@@ -100,15 +115,43 @@ def run(
     return result
 
 
+def render(result: Fig4Result) -> List[str]:
+    """Paper-style report lines."""
+    lines = ["(paper: sensed in all six regions; best in region 2; 5-6 worst)"]
+    lines.extend(result.rows())
+    for sensor in result.points:
+        lines.append(f"{sensor:>8} best region: {result.best_region(sensor)}")
+    return lines
+
+
+def _metrics(result: Fig4Result) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for sensor, pts in result.points.items():
+        out[f"{sensor}_best_region"] = result.best_region(sensor)
+        out[f"{sensor}_max_delta"] = round(max(p.delta for p in pts), 3)
+    return out
+
+
+@registry.register(
+    "fig4",
+    title="Fig. 4 — sensitivity under different placements",
+    renderer=render,
+    metrics=_metrics,
+)
+def _run_protocol(config: registry.ExperimentConfig, engine: Engine) -> Fig4Result:
+    params = config.params(quick={"n_readouts": 300}, paper={})
+    return run_fig4(rng=np.random.SeedSequence(config.seed), engine=engine, **params)
+
+
+run = registry.protocol_entry("fig4", run_fig4)
+
+
 def main() -> None:
     """Print the Fig. 4 reproduction."""
-    result = run()
+    result = run_fig4()
     print("Fig. 4 — sensitivity under different placements")
-    print("(paper: sensed in all six regions; best in region 2; 5-6 worst)")
-    for row in result.rows():
-        print(row)
-    for sensor in result.points:
-        print(f"{sensor:>8} best region: {result.best_region(sensor)}")
+    for line in render(result):
+        print(line)
 
 
 if __name__ == "__main__":

@@ -14,13 +14,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.attacks.metrics import RankCurve
 from repro.config import RngLike, make_rng
-from repro.experiments import common
+from repro.experiments import common, registry
 from repro.experiments.table1_traces import (
     collect_placement_traces,
     disclosure_curve,
 )
+from repro.runtime import Engine
+from repro.runtime.sharding import root_sequence
 
 
 @dataclass
@@ -50,38 +54,89 @@ class Fig5Result:
         return self.curves[placement].as_arrays()
 
 
-def run(
+def run_fig5(
     placements: Sequence[str] = common.FIG5_PLACEMENTS,
     n_traces: int = 60_000,
     step: int = 2_500,
     rating_at: int = 20_000,
     seed: int = 7,
     rng: RngLike = 3,
+    engine: Optional[Engine] = None,
 ) -> Fig5Result:
     """Reproduce Fig. 5 for the selected placements."""
-    rng = make_rng(rng)
+    if engine is None:
+        gen = make_rng(rng)
+        campaign_rngs = iter(lambda: gen, None)
+    else:
+        campaign_rngs = iter(root_sequence(rng).spawn(len(placements)))
     result = Fig5Result(rating_at=rating_at)
     for placement in placements:
         ts = collect_placement_traces(
-            placement, n_traces, "LeakyDSP", seed=seed, rng=rng
+            placement,
+            n_traces,
+            "LeakyDSP",
+            seed=seed,
+            rng=next(campaign_rngs),
+            engine=engine,
         )
         result.curves[placement] = disclosure_curve(ts, step)
     return result
 
 
-def main() -> None:
-    """Print the Fig. 5 reproduction."""
-    result = run()
-    print("Fig. 5 — key-rank estimation per placement")
-    print("(paper: placement-dependent convergence; bounds tighten to 1)")
-    print(f"rating at {result.rating_at} traces (log2 upper rank):")
+def render(result: Fig5Result) -> List[str]:
+    """Paper-style report lines."""
+    lines = [
+        "(paper: placement-dependent convergence; bounds tighten to 1)",
+        f"rating at {result.rating_at} traces (log2 upper rank):",
+    ]
     for name, rank in result.rating():
         shown = f"{rank:.1f}" if rank is not None else "n/a"
-        print(f"  {name}: {shown}")
+        lines.append(f"  {name}: {shown}")
     for name, curve in result.curves.items():
         n, lo, hi = curve.as_arrays()
         pts = ", ".join(f"{int(a/1000)}k:{b:.0f}" for a, b in zip(n, hi))
-        print(f"  {name} upper-bound curve: {pts}")
+        lines.append(f"  {name} upper-bound curve: {pts}")
+    return lines
+
+
+def _metrics(result: Fig5Result) -> Dict[str, object]:
+    out: Dict[str, object] = {}
+    for name in result.curves:
+        rank = result.rank_at_rating_point(name)
+        out[f"{name}_log2_rank_at_{result.rating_at}"] = (
+            round(rank, 2) if rank is not None else None
+        )
+    return out
+
+
+@registry.register(
+    "fig5",
+    title="Fig. 5 — key-rank estimation per placement",
+    renderer=render,
+    metrics=_metrics,
+)
+def _run_protocol(config: registry.ExperimentConfig, engine: Engine) -> Fig5Result:
+    params = config.params(
+        quick={
+            "placements": ("P6",),
+            "n_traces": 20_000,
+            "step": 5_000,
+            "rating_at": 10_000,
+        },
+        paper={},
+    )
+    return run_fig5(rng=np.random.SeedSequence(config.seed), engine=engine, **params)
+
+
+run = registry.protocol_entry("fig5", run_fig5)
+
+
+def main() -> None:
+    """Print the Fig. 5 reproduction."""
+    result = run_fig5()
+    print("Fig. 5 — key-rank estimation per placement")
+    for line in render(result):
+        print(line)
 
 
 if __name__ == "__main__":

@@ -16,12 +16,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.config import RngLike, make_rng
-from repro.experiments import common
+from repro.experiments import common, registry
 from repro.experiments.table1_traces import (
     collect_placement_traces,
     disclosure_curve,
 )
+from repro.runtime import Engine
+from repro.runtime.sharding import root_sequence
 from repro.timing.sampling import ClockSpec
 
 
@@ -54,7 +58,7 @@ class Fig6Result:
         return out
 
 
-def run(
+def run_fig6(
     frequencies: Sequence[float] = common.FIG6_FREQUENCIES,
     placement: str = "P6",
     n_traces: int = 60_000,
@@ -62,22 +66,41 @@ def run(
     step: int = 2_500,
     seed: int = 7,
     rng: RngLike = 3,
+    engine: Optional[Engine] = None,
 ) -> Fig6Result:
     """Reproduce Fig. 6: sweep the AES clock at the best placement,
     extending the campaign (like the paper's extra 20 k traces at
     100 MHz) whenever the default budget fails."""
-    rng = make_rng(rng)
+    if engine is None:
+        gen = make_rng(rng)
+        campaign_rngs = iter(lambda: gen, None)
+    else:
+        # Two potential campaigns (main + extension) per frequency.
+        campaign_rngs = iter(root_sequence(rng).spawn(2 * len(frequencies)))
     result = Fig6Result(placement=placement)
     for freq in frequencies:
         clock = ClockSpec(freq)
         ts = collect_placement_traces(
-            placement, n_traces, "LeakyDSP", aes_clock=clock, seed=seed, rng=rng
+            placement,
+            n_traces,
+            "LeakyDSP",
+            aes_clock=clock,
+            seed=seed,
+            rng=next(campaign_rngs),
+            engine=engine,
         )
         curve = disclosure_curve(ts, step, aes_clock=clock)
+        extension_rng = next(campaign_rngs)
         extended = False
         if curve.traces_to_disclosure is None and extension > 0:
             extra = collect_placement_traces(
-                placement, extension, "LeakyDSP", aes_clock=clock, seed=seed, rng=rng
+                placement,
+                extension,
+                "LeakyDSP",
+                aes_clock=clock,
+                seed=seed,
+                rng=extension_rng,
+                engine=engine,
             )
             ts = ts.extend(extra)
             curve = disclosure_curve(ts, step, aes_clock=clock)
@@ -93,12 +116,47 @@ def run(
     return result
 
 
+def render(result: Fig6Result) -> List[str]:
+    """Paper-style report lines."""
+    lines = ["(paper: efficiency decreases with frequency; 100 MHz needs 78k)"]
+    lines.extend(result.formatted())
+    return lines
+
+
+def _metrics(result: Fig6Result) -> Dict[str, object]:
+    out: Dict[str, object] = {}
+    for p in result.points:
+        out[f"{p.frequency_hz/1e6:g}MHz_traces"] = p.traces_to_break
+    return out
+
+
+@registry.register(
+    "fig6",
+    title="Fig. 6 — impact of the AES frequency on the attack",
+    renderer=render,
+    metrics=_metrics,
+)
+def _run_protocol(config: registry.ExperimentConfig, engine: Engine) -> Fig6Result:
+    params = config.params(
+        quick={
+            "frequencies": (20e6, 100e6),
+            "n_traces": 30_000,
+            "extension": 0,
+            "step": 5_000,
+        },
+        paper={},
+    )
+    return run_fig6(rng=np.random.SeedSequence(config.seed), engine=engine, **params)
+
+
+run = registry.protocol_entry("fig6", run_fig6)
+
+
 def main() -> None:
     """Print the Fig. 6 reproduction."""
-    result = run()
+    result = run_fig6()
     print("Fig. 6 — impact of the AES frequency on the attack")
-    print("(paper: efficiency decreases with frequency; 100 MHz needs 78k)")
-    for line in result.formatted():
+    for line in render(result):
         print(line)
 
 

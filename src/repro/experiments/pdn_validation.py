@@ -16,12 +16,14 @@ its kernel family reproduces the reference RC-mesh physics:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.experiments import registry
 from repro.pdn.coupling import fit_to_mesh
 from repro.pdn.mesh import PDNMesh
+from repro.runtime import Engine
 
 
 @dataclass
@@ -52,7 +54,7 @@ class PdnValidationResult:
         ]
 
 
-def run(
+def run_pdn_validation(
     nx: int = 25,
     ny: int = 25,
     load_current: float = 10e-3,
@@ -117,11 +119,41 @@ def run(
     )
 
 
+def render(result: PdnValidationResult) -> List[str]:
+    """Report lines."""
+    return list(result.formatted())
+
+
+def _metrics(result: PdnValidationResult) -> Dict[str, float]:
+    return {
+        "near_field_error": round(result.near_field_error, 4),
+        "superposition_error": float(result.superposition_error),
+        "step_rise_time_ns": round(result.step_rise_time * 1e9, 2),
+    }
+
+
+@registry.register(
+    "pdn-validation",
+    title="Ablation — PDN surrogate vs. RC-mesh reference",
+    renderer=render,
+    metrics=_metrics,
+)
+def _run_protocol(
+    config: registry.ExperimentConfig, engine: Engine
+) -> PdnValidationResult:
+    # Deterministic linear algebra: no RNG, no acquisition engine.
+    params = config.params(quick={"nx": 17, "ny": 17}, paper={})
+    return run_pdn_validation(**params)
+
+
+run = registry.protocol_entry("pdn-validation", run_pdn_validation)
+
+
 def main() -> None:
     """Print the PDN validation."""
-    result = run()
+    result = run_pdn_validation()
     print("Ablation — PDN surrogate vs. RC-mesh reference")
-    for line in result.formatted():
+    for line in render(result):
         print(line)
 
 

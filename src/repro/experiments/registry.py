@@ -1,0 +1,272 @@
+"""The uniform experiment API.
+
+Every experiment module registers itself here and exposes the same
+entry-point protocol::
+
+    run(config: ExperimentConfig, engine: Engine) -> ExperimentResult
+
+replacing the historical per-module signatures (``run(n_readouts=...)``,
+``run(placements=..., n_traces=...)``, ...).  The old keyword style
+still works through a deprecation shim on each module's ``run`` and
+warns once per call site.
+
+Typical use::
+
+    from repro.experiments import registry
+    from repro.runtime import Engine
+
+    config = registry.ExperimentConfig(scale="quick", workers=4, seed=0)
+    result = registry.run("table1", config)
+    print("\n".join(result.lines()))
+    print(result.metrics)
+
+``registry.run`` builds an :class:`~repro.runtime.Engine` from the
+config (or accepts one), times the run, and wraps the module's native
+result object (``payload``) together with uniform metadata and a flat
+``metrics`` dict.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.runtime import Engine, ProgressFn
+
+#: Recognized workload scales.  ``"paper"`` matches the paper-scale
+#: defaults the modules have always used; ``"quick"`` is the scaled-down
+#: variant suitable for CI and laptops.
+SCALES = ("quick", "paper")
+
+
+@dataclass
+class ExperimentConfig:
+    """Uniform configuration for any registered experiment.
+
+    Attributes
+    ----------
+    scale:
+        ``"paper"`` (default; the modules' historical full-scale
+        parameters) or ``"quick"`` (scaled-down).
+    seed:
+        Root seed.  Every experiment spawns its campaign streams from
+        this via :class:`numpy.random.SeedSequence`, so one integer
+        pins down an entire run at any worker count.
+    workers:
+        Acquisition worker processes (used when no explicit engine is
+        passed to :func:`run`).
+    shard_size:
+        Traces/readouts per engine shard.
+    progress:
+        Progress callback forwarded to the engine.
+    options:
+        Per-experiment parameter overrides, merged over the
+        scale-derived defaults (e.g. ``{"n_traces": 10_000}``).
+    """
+
+    scale: str = "paper"
+    seed: int = 0
+    workers: int = 1
+    shard_size: int = 4096
+    progress: Optional[ProgressFn] = None
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.scale not in SCALES:
+            raise ConfigurationError(
+                f"unknown scale {self.scale!r}; expected one of {SCALES}"
+            )
+
+    def make_engine(self) -> Engine:
+        """An engine matching this configuration."""
+        return Engine(
+            workers=self.workers,
+            shard_size=self.shard_size,
+            progress=self.progress,
+        )
+
+    def spawn_seeds(self, n: int) -> List[np.random.SeedSequence]:
+        """``n`` independent campaign seed sequences from the root seed."""
+        return np.random.SeedSequence(self.seed).spawn(n)
+
+    def params(self, quick: Dict[str, Any], paper: Dict[str, Any]) -> Dict[str, Any]:
+        """Scale-selected defaults merged with the config's overrides."""
+        merged = dict(quick if self.scale == "quick" else paper)
+        merged.update(self.options)
+        return merged
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result wrapper returned by every registered experiment."""
+
+    name: str
+    #: The experiment module's native result object (``Fig3Result``,
+    #: ``Table1Result``, ...), unchanged.
+    payload: Any
+    #: Flat summary metrics extracted from the payload.
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Run parameters (scale, seed, workers, resolved options).
+    metadata: Dict[str, Any] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    def lines(self) -> List[str]:
+        """The experiment's paper-style report lines."""
+        return get(self.name).renderer(self.payload)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment."""
+
+    name: str
+    title: str
+    runner: Callable[[ExperimentConfig, Engine], Any]
+    renderer: Callable[[Any], List[str]]
+    metrics: Callable[[Any], Dict[str, Any]]
+
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+_POPULATED = False
+
+
+def register(
+    name: str,
+    title: str,
+    renderer: Optional[Callable[[Any], List[str]]] = None,
+    metrics: Optional[Callable[[Any], Dict[str, Any]]] = None,
+) -> Callable:
+    """Class the decorated ``(config, engine) -> payload`` callable as
+    the registered runner for ``name``."""
+
+    def decorate(runner: Callable[[ExperimentConfig, Engine], Any]) -> Callable:
+        if name in _REGISTRY:
+            raise ConfigurationError(f"experiment {name!r} registered twice")
+        _REGISTRY[name] = ExperimentSpec(
+            name=name,
+            title=title,
+            runner=runner,
+            renderer=renderer or (lambda payload: [repr(payload)]),
+            metrics=metrics or (lambda payload: {}),
+        )
+        return runner
+
+    return decorate
+
+
+def _populate() -> None:
+    """Import every experiment module once so decorators register."""
+    global _POPULATED
+    if _POPULATED:
+        return
+    from repro.experiments import (  # noqa: F401
+        ablation_calib,
+        ablation_chain,
+        defense_study,
+        fig3_sensitivity,
+        fig4_placement,
+        fig5_keyrank,
+        fig6_frequency,
+        fig7_covert,
+        pdn_validation,
+        sensor_zoo,
+        table1_traces,
+    )
+
+    _POPULATED = True
+
+
+def names() -> List[str]:
+    """Registered experiment names, sorted."""
+    _populate()
+    return sorted(_REGISTRY)
+
+
+def get(name: str) -> ExperimentSpec:
+    """Look an experiment up by its registered name."""
+    _populate()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def run(
+    name: str,
+    config: Optional[ExperimentConfig] = None,
+    engine: Optional[Engine] = None,
+) -> ExperimentResult:
+    """Run one experiment through the uniform protocol."""
+    spec = get(name)
+    config = config or ExperimentConfig()
+    engine = engine or config.make_engine()
+    t0 = time.perf_counter()
+    payload = spec.runner(config, engine)
+    seconds = time.perf_counter() - t0
+    return ExperimentResult(
+        name=name,
+        payload=payload,
+        metrics=spec.metrics(payload),
+        metadata={
+            "scale": config.scale,
+            "seed": config.seed,
+            "workers": engine.workers,
+            "options": dict(config.options),
+        },
+        seconds=seconds,
+    )
+
+
+def protocol_entry(name: str, legacy_fn: Callable) -> Callable:
+    """Build a module's public ``run``: new protocol plus legacy shim.
+
+    Called as ``run(config, engine)`` (or ``run(config)``) with an
+    :class:`ExperimentConfig`, it dispatches through the registry and
+    returns an :class:`ExperimentResult`.  Called with the module's
+    historical keyword arguments (or bare), it emits a
+    :class:`DeprecationWarning` and returns the legacy result object
+    unchanged.
+    """
+
+    def run_entry(config=None, engine=None, **kwargs):
+        if isinstance(config, ExperimentConfig):
+            if kwargs:
+                raise TypeError(
+                    "pass per-experiment overrides via ExperimentConfig."
+                    "options, not keyword arguments"
+                )
+            return run(name, config, engine)
+        if config is not None:
+            raise TypeError(
+                f"{name}.run() takes an ExperimentConfig as its first "
+                f"argument (got {type(config).__name__}); legacy "
+                "parameters must be passed by keyword"
+            )
+        if engine is not None:
+            kwargs["engine"] = engine
+        warnings.warn(
+            f"calling {name}.run() with legacy keyword arguments is "
+            "deprecated; use run(ExperimentConfig(...)) or "
+            "repro.experiments.registry.run()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return legacy_fn(**kwargs)
+
+    run_entry.__name__ = "run"
+    run_entry.__qualname__ = "run"
+    run_entry.__doc__ = (
+        f"Uniform entry point for the {name!r} experiment.\n\n"
+        "``run(config: ExperimentConfig, engine: Engine = None) -> "
+        "ExperimentResult`` is the supported protocol; the historical "
+        "keyword signature still works but is deprecated:\n\n"
+        + (legacy_fn.__doc__ or "")
+    )
+    return run_entry

@@ -17,7 +17,7 @@ to scan for.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -25,9 +25,11 @@ from repro.analysis.stats import linear_regression
 from repro.config import RngLike, make_rng
 from repro.core import LeakyDSP, calibrate
 from repro.defense.checker import BitstreamChecker
-from repro.experiments import common
+from repro.experiments import common, registry
 from repro.fpga.bitstream import generate_bitstream
 from repro.fpga.placement import Placer
+from repro.runtime import Engine
+from repro.runtime.sharding import root_sequence
 from repro.sensors import RDS, RingOscillatorSensor, TDC
 from repro.traces.acquisition import characterize_readouts
 
@@ -81,13 +83,13 @@ def _resource_counts(netlist) -> Dict[str, int]:
     }
 
 
-def run(
+def run_sensor_zoo(
     n_readouts: int = 1000,
     seed: int = 7,
     rng: RngLike = 43,
+    engine: Optional[Engine] = None,
 ) -> SensorZooResult:
     """Characterize every sensor family on the Fig. 3 workload."""
-    rng = make_rng(rng)
     setup = common.Basys3Setup.create()
     virus = common.make_virus(setup)
     pblock = common.region_pblock(setup.device, 2)
@@ -114,15 +116,34 @@ def run(
     result = SensorZooResult()
     levels = np.arange(virus.n_groups + 1)
     instances = levels * virus.instances_per_group
+    if engine is None:
+        gen = make_rng(rng)
+
+        def calibration_rng():
+            return gen
+
+        def sample(sensor, level):
+            return characterize_readouts(
+                sensor, setup.coupling, virus, level, n_readouts, rng=gen
+            )
+
+    else:
+        seeds = iter(root_sequence(rng).spawn(len(sensors) * (len(levels) + 1)))
+
+        def calibration_rng():
+            return make_rng(next(seeds))
+
+        def sample(sensor, level):
+            return engine.characterize(
+                sensor, setup.coupling, virus, level, n_readouts, seed=next(seeds)
+            )
+
     for name, sensor in sensors.items():
         placement = sensor.place(setup.placer, pblock=pblock)
         if name != "RO":  # the RO counter needs no phase calibration
-            calibrate(sensor, rng=rng)
+            calibrate(sensor, rng=calibration_rng())
         means = [
-            float(np.mean(characterize_readouts(
-                sensor, setup.coupling, virus, int(level), n_readouts, rng=rng
-            )))
-            for level in levels
+            float(np.mean(sample(sensor, int(level)))) for level in levels
         ]
         fit = linear_regression(instances, means)
         bitstream = generate_bitstream(sensor.netlist(), placement)
@@ -142,11 +163,40 @@ def run(
     return result
 
 
+def render(result: SensorZooResult) -> List[str]:
+    """Report lines."""
+    return list(result.formatted())
+
+
+def _metrics(result: SensorZooResult) -> Dict[str, object]:
+    out: Dict[str, object] = {}
+    for r in result.rows:
+        out[f"{r.sensor}_pearson_r"] = round(r.pearson_r, 4)
+        out[f"{r.sensor}_checker_pass"] = r.passes_bitstream_check
+    return out
+
+
+@registry.register(
+    "sensor-zoo",
+    title="Extension — the sensor zoo on the Fig. 3 workload",
+    renderer=render,
+    metrics=_metrics,
+)
+def _run_protocol(config: registry.ExperimentConfig, engine: Engine) -> SensorZooResult:
+    params = config.params(quick={"n_readouts": 200}, paper={})
+    return run_sensor_zoo(
+        rng=np.random.SeedSequence(config.seed), engine=engine, **params
+    )
+
+
+run = registry.protocol_entry("sensor-zoo", run_sensor_zoo)
+
+
 def main() -> None:
     """Print the sensor-zoo comparison."""
-    result = run()
+    result = run_sensor_zoo()
     print("Extension — the sensor zoo on the Fig. 3 workload")
-    for line in result.formatted():
+    for line in render(result):
         print(line)
 
 

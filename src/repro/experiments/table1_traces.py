@@ -18,7 +18,9 @@ import numpy as np
 
 from repro.attacks.metrics import RankCurve, rank_curve
 from repro.config import RngLike, make_rng
-from repro.experiments import common
+from repro.experiments import common, registry
+from repro.runtime import Engine
+from repro.runtime.sharding import root_sequence
 from repro.timing.sampling import ClockSpec
 from repro.traces.acquisition import AESTraceAcquisition
 from repro.traces.store import TraceSet
@@ -36,9 +38,15 @@ def collect_placement_traces(
     key: bytes = DEFAULT_KEY,
     seed: int = 7,
     rng: RngLike = 3,
+    engine: Optional[Engine] = None,
 ) -> TraceSet:
     """Collect an AES trace campaign with a sensor at one named
-    placement (fresh board per campaign, like reflashing the FPGA)."""
+    placement (fresh board per campaign, like reflashing the FPGA).
+
+    With an ``engine``, collection runs on the sharded acquisition
+    runtime (``rng`` must then be an integer seed or a
+    :class:`numpy.random.SeedSequence`).
+    """
     setup = common.Basys3Setup.create()
     pblock = common.placement_pblock(setup.device, placement)
     if sensor_type == "LeakyDSP":
@@ -49,7 +57,10 @@ def collect_placement_traces(
         raise ValueError(f"unknown sensor type {sensor_type!r}")
     hw = common.make_hw_model(aes_clock, setup.constants)
     acq = AESTraceAcquisition(sensor, setup.coupling, hw, common.AES_POSITION)
-    trace_set = acq.collect(n_traces, key, rng=rng)
+    if engine is None:
+        trace_set = acq.collect(n_traces, key=key, rng=rng)
+    else:
+        trace_set = engine.collect(acq, n_traces, key=key, seed=rng)
     trace_set.metadata["placement"] = placement
     return trace_set
 
@@ -102,7 +113,7 @@ class Table1Result:
         return out
 
 
-def run(
+def run_table1(
     placements: Sequence[str] = tuple(common.CPA_PLACEMENTS),
     n_traces: int = 60_000,
     step: int = 2_500,
@@ -110,6 +121,7 @@ def run(
     tdc_placement: str = "P6",
     seed: int = 7,
     rng: RngLike = 3,
+    engine: Optional[Engine] = None,
 ) -> Table1Result:
     """Reproduce Table I.
 
@@ -118,11 +130,20 @@ def run(
     — the paper evaluates the TDC "in one setting" only, since TDC and
     LeakyDSP cannot occupy the same sites for a like-for-like spot.
     """
-    rng = make_rng(rng)
+    if engine is None:
+        gen = make_rng(rng)
+        campaign_rngs = iter(lambda: gen, None)
+    else:
+        campaign_rngs = iter(root_sequence(rng).spawn(len(placements) + 1))
     result = Table1Result()
     for placement in placements:
         ts = collect_placement_traces(
-            placement, n_traces, "LeakyDSP", seed=seed, rng=rng
+            placement,
+            n_traces,
+            "LeakyDSP",
+            seed=seed,
+            rng=next(campaign_rngs),
+            engine=engine,
         )
         curve = disclosure_curve(ts, step)
         result.rows.append(
@@ -130,7 +151,12 @@ def run(
         )
     if include_tdc:
         ts = collect_placement_traces(
-            tdc_placement, n_traces + 20_000, "TDC", seed=seed, rng=rng
+            tdc_placement,
+            n_traces + 20_000,
+            "TDC",
+            seed=seed,
+            rng=next(campaign_rngs),
+            engine=engine,
         )
         curve = disclosure_curve(ts, step)
         result.rows.append(
@@ -141,16 +167,54 @@ def run(
     return result
 
 
-def main() -> None:
-    """Print the Table I reproduction."""
-    result = run()
-    print("Table I — traces required to break the full AES-128 key")
-    print("(paper: LeakyDSP 25k-58k across placements; TDC 51k)")
-    for line in result.formatted():
-        print(line)
+def render(result: Table1Result) -> List[str]:
+    """Paper-style report lines."""
+    lines = ["(paper: LeakyDSP 25k-58k across placements; TDC 51k)"]
+    lines.extend(result.formatted())
     band = result.leakydsp_band()
     if band:
-        print(f"LeakyDSP band: {band[0]}-{band[1]} traces")
+        lines.append(f"LeakyDSP band: {band[0]}-{band[1]} traces")
+    return lines
+
+
+def _metrics(result: Table1Result) -> Dict[str, object]:
+    out: Dict[str, object] = {}
+    for row in result.rows:
+        out[f"{row.sensor}_{row.placement}_traces"] = row.traces_to_break
+    band = result.leakydsp_band()
+    if band:
+        out["leakydsp_band_min"], out["leakydsp_band_max"] = band
+    return out
+
+
+@registry.register(
+    "table1",
+    title="Table I — traces required to break the full AES-128 key",
+    renderer=render,
+    metrics=_metrics,
+)
+def _run_protocol(config: registry.ExperimentConfig, engine: Engine) -> Table1Result:
+    params = config.params(
+        quick={
+            "placements": ("P6",),
+            "n_traces": 30_000,
+            "step": 5_000,
+            "include_tdc": False,
+        },
+        paper={},
+    )
+    return run_table1(rng=np.random.SeedSequence(config.seed), engine=engine, **params)
+
+
+run = registry.protocol_entry("table1", run_table1)
+
+
+def main() -> None:
+    """Print the Table I reproduction."""
+    result = run_table1()
+    print("Table I — traces required to break the full AES-128 key")
+    for line in render(result):
+        print(line)
 
 
 if __name__ == "__main__":

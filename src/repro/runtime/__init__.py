@@ -1,0 +1,33 @@
+"""Parallel acquisition runtime.
+
+* :class:`Engine` — the deterministic process-pool acquisition engine
+  (sharded AES trace collection and sensor characterization).
+* :mod:`~repro.runtime.sharding` — worker-count-independent shard
+  planning and per-shard RNG spawning.
+* :mod:`~repro.runtime.metrics` — per-shard timing/throughput metrics.
+
+The contract: for a fixed seed and shard size, engine output is
+bit-identical at any worker count, and ``Engine(workers=1)`` is the
+serial reference path (no pool, no shared memory).
+"""
+
+from repro.runtime.engine import Engine, ProgressEvent, ProgressFn
+from repro.runtime.metrics import EngineMetrics, ShardMetrics
+from repro.runtime.sharding import (
+    Shard,
+    plan_shards,
+    root_sequence,
+    spawn_shard_sequences,
+)
+
+__all__ = [
+    "Engine",
+    "EngineMetrics",
+    "ProgressEvent",
+    "ProgressFn",
+    "Shard",
+    "ShardMetrics",
+    "plan_shards",
+    "root_sequence",
+    "spawn_shard_sequences",
+]

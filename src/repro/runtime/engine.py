@@ -1,0 +1,438 @@
+"""The process-pool acquisition engine.
+
+Trace acquisition dominates wall-clock for every experiment in this
+repository (10k-500k simulated traces per figure), and the workload is
+embarrassingly parallel once the random streams are pinned down.  The
+engine shards a campaign into fixed-size blocks (:mod:`repro.runtime.
+sharding`), spawns one child :class:`numpy.random.SeedSequence` per
+shard, and runs shards either in-process (``workers=1``, the serial
+reference path) or on a :class:`concurrent.futures.ProcessPoolExecutor`.
+Because the shard plan and the per-shard streams depend only on the
+workload and the root seed, the resulting traces are **bit-identical
+for any worker count**.
+
+Result buffers live in POSIX shared memory
+(:mod:`multiprocessing.shared_memory`): each worker writes its shard's
+slice directly, so trace arrays are never pickled through the result
+pipe — only the small per-shard :class:`~repro.runtime.metrics.
+ShardMetrics` travels back.  The parent pre-builds every model table
+that is expensive to derive (the sensor's voltage->moments table) so
+workers inherit it with the pickled harness instead of recomputing it.
+
+A progress hook fires in the parent as shards complete::
+
+    engine = Engine(workers=4, progress=lambda ev: print(ev.done, "/", ev.total))
+    traces = engine.collect(acq, 60_000, key=KEY, seed=3)
+    print(engine.last_metrics.summary())
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import RngLike
+from repro.core.sensor import VoltageSensor
+from repro.errors import ConfigurationError
+from repro.pdn.coupling import CouplingModel
+from repro.pdn.noise import NoiseModel
+from repro.runtime.metrics import EngineMetrics, ShardMetrics
+from repro.runtime.sharding import (
+    SeedLike,
+    Shard,
+    plan_shards,
+    spawn_shard_sequences,
+)
+from repro.traces.acquisition import (
+    AESTraceAcquisition,
+    characterize_block,
+    characterize_droop,
+)
+from repro.traces.store import TraceSet
+from repro.victims.aes import AES128
+from repro.victims.power_virus import PowerVirusBank
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """Progress of an engine run, delivered as shards complete."""
+
+    kind: str
+    done: int
+    total: int
+    shard: ShardMetrics
+
+
+ProgressFn = Callable[[ProgressEvent], None]
+
+
+# ----------------------------------------------------------------------
+# Shard bodies — shared verbatim by the serial and pooled paths, which
+# is what makes worker count irrelevant to the output.
+# ----------------------------------------------------------------------
+
+
+def _run_collect_shard(
+    acq: AESTraceAcquisition,
+    aes: AES128,
+    n_samples: int,
+    shard: Shard,
+    seed_seq: np.random.SeedSequence,
+    traces: np.ndarray,
+    pts: np.ndarray,
+    cts: np.ndarray,
+) -> ShardMetrics:
+    t0 = time.perf_counter()
+    rng = np.random.default_rng(seed_seq)
+    timings: Dict[str, float] = {}
+    shard_pts = rng.integers(0, 256, size=(shard.size, 16), dtype=np.uint8)
+    readouts, shard_cts = acq.acquire_block(
+        aes, shard_pts, rng, n_samples, timings=timings
+    )
+    traces[shard.slice] = readouts
+    pts[shard.slice] = shard_pts
+    cts[shard.slice] = shard_cts
+    return ShardMetrics(
+        shard_index=shard.index,
+        n_items=shard.size,
+        seconds=time.perf_counter() - t0,
+        stage_seconds=timings,
+    )
+
+
+def _run_characterize_shard(
+    sensor: VoltageSensor,
+    droop: float,
+    noise: NoiseModel,
+    shard: Shard,
+    seed_seq: np.random.SeedSequence,
+    out: np.ndarray,
+) -> ShardMetrics:
+    t0 = time.perf_counter()
+    rng = np.random.default_rng(seed_seq)
+    timings: Dict[str, float] = {}
+    out[shard.slice] = characterize_block(
+        sensor, droop, noise, shard.size, rng, timings=timings
+    )
+    return ShardMetrics(
+        shard_index=shard.index,
+        n_items=shard.size,
+        seconds=time.perf_counter() - t0,
+        stage_seconds=timings,
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker-side plumbing.  Workers attach the parent's shared-memory
+# segments once (in the pool initializer) and keep array views for the
+# pool's lifetime; per-shard tasks then only carry (shard, seed).
+# ----------------------------------------------------------------------
+
+_WORKER: dict = {}
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    seg = shared_memory.SharedMemory(name=name)
+    # On POSIX Pythons before 3.13, attaching registers the segment with
+    # the process's resource tracker.  Under the fork start method the
+    # tracker is shared with the parent, so the duplicate registration
+    # is harmless; under spawn each worker gets its own tracker, which
+    # would unlink the parent's segment at worker exit — undo the
+    # registration there (the parent owns the segment and unlinks it
+    # exactly once).
+    try:
+        import multiprocessing
+
+        if multiprocessing.get_start_method(allow_none=True) != "fork":
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(seg._name, "shared_memory")
+    except Exception:
+        pass
+    return seg
+
+
+def _init_collect_worker(acq, key_bytes, n_samples, buffers):
+    segments = {}
+    arrays = {}
+    for label, (name, shape, dtype) in buffers.items():
+        seg = _attach_segment(name)
+        segments[label] = seg
+        arrays[label] = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
+    _WORKER.clear()
+    _WORKER.update(
+        acq=acq,
+        aes=AES128(key_bytes),
+        n_samples=n_samples,
+        segments=segments,
+        arrays=arrays,
+    )
+
+
+def _collect_shard_task(shard: Shard, seed_seq) -> ShardMetrics:
+    w = _WORKER
+    a = w["arrays"]
+    return _run_collect_shard(
+        w["acq"], w["aes"], w["n_samples"], shard, seed_seq,
+        a["traces"], a["pts"], a["cts"],
+    )
+
+
+def _init_characterize_worker(sensor, droop, noise, buffers):
+    segments = {}
+    arrays = {}
+    for label, (name, shape, dtype) in buffers.items():
+        seg = _attach_segment(name)
+        segments[label] = seg
+        arrays[label] = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
+    _WORKER.clear()
+    _WORKER.update(
+        sensor=sensor, droop=droop, noise=noise,
+        segments=segments, arrays=arrays,
+    )
+
+
+def _characterize_shard_task(shard: Shard, seed_seq) -> ShardMetrics:
+    w = _WORKER
+    return _run_characterize_shard(
+        w["sensor"], w["droop"], w["noise"], shard, seed_seq,
+        w["arrays"]["out"],
+    )
+
+
+class _SharedBuffers:
+    """Parent-owned shared-memory result buffers."""
+
+    def __init__(self, specs: Dict[str, Tuple[Tuple[int, ...], np.dtype]]) -> None:
+        self.segments: Dict[str, shared_memory.SharedMemory] = {}
+        self.arrays: Dict[str, np.ndarray] = {}
+        self.spec_for_worker: Dict[str, Tuple[str, Tuple[int, ...], np.dtype]] = {}
+        try:
+            for label, (shape, dtype) in specs.items():
+                nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+                seg = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+                self.segments[label] = seg
+                self.arrays[label] = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
+                self.spec_for_worker[label] = (seg.name, shape, dtype)
+        except BaseException:
+            self.close()
+            raise
+
+    def copy_out(self, label: str) -> np.ndarray:
+        """A private copy of one buffer (safe to use after close)."""
+        return np.array(self.arrays[label])
+
+    def close(self) -> None:
+        self.arrays.clear()
+        for seg in self.segments.values():
+            try:
+                seg.close()
+                seg.unlink()
+            except Exception:
+                pass
+        self.segments.clear()
+
+
+class Engine:
+    """Deterministic multi-process acquisition engine.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``1`` runs every shard in the parent process
+        (the serial reference path — no pool, no shared memory);
+        higher counts use a process pool with shared-memory buffers.
+        Output is bit-identical either way.
+    shard_size:
+        Traces/readouts per shard.  Part of the deterministic plan:
+        changing it changes the random streams, changing the worker
+        count does not.
+    progress:
+        Optional callback receiving a :class:`ProgressEvent` in the
+        parent as each shard completes.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        shard_size: int = 4096,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if shard_size < 1:
+            raise ConfigurationError("shard_size must be >= 1")
+        self.workers = workers
+        self.shard_size = shard_size
+        self.progress = progress
+        #: Metrics of the most recent run (:class:`EngineMetrics`).
+        self.last_metrics: Optional[EngineMetrics] = None
+
+    # ------------------------------------------------------------------
+    def _emit(self, kind: str, done: int, total: int, shard: ShardMetrics) -> None:
+        if self.progress is not None:
+            self.progress(ProgressEvent(kind=kind, done=done, total=total, shard=shard))
+
+    def _drive(
+        self,
+        kind: str,
+        n_items: int,
+        shards: Sequence[Shard],
+        seqs: Sequence[np.random.SeedSequence],
+        serial_body: Callable[[Shard, np.random.SeedSequence], ShardMetrics],
+        pool_task: Callable,
+        pool_initializer: Callable,
+        pool_initargs: Tuple,
+    ) -> EngineMetrics:
+        """Run a shard plan serially or on a pool, collecting metrics."""
+        metrics = EngineMetrics(
+            kind=kind,
+            n_items=n_items,
+            n_shards=len(shards),
+            workers=min(self.workers, len(shards)),
+        )
+        t0 = time.perf_counter()
+        if self.workers == 1:
+            done = 0
+            for shard, seq in zip(shards, seqs):
+                sm = serial_body(shard, seq)
+                metrics.shards.append(sm)
+                done += shard.size
+                self._emit(kind, done, n_items, sm)
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(shards)),
+                initializer=pool_initializer,
+                initargs=pool_initargs,
+            ) as pool:
+                futures = {
+                    pool.submit(pool_task, shard, seq): shard
+                    for shard, seq in zip(shards, seqs)
+                }
+                done = 0
+                for future in as_completed(futures):
+                    sm = future.result()
+                    metrics.shards.append(sm)
+                    done += futures[future].size
+                    self._emit(kind, done, n_items, sm)
+        metrics.shards.sort(key=lambda s: s.shard_index)
+        metrics.wall_seconds = time.perf_counter() - t0
+        self.last_metrics = metrics
+        return metrics
+
+    # ------------------------------------------------------------------
+    def collect(
+        self,
+        acquisition: AESTraceAcquisition,
+        n_traces: int,
+        *,
+        key,
+        seed: SeedLike = 0,
+        n_samples: Optional[int] = None,
+    ) -> TraceSet:
+        """Sharded equivalent of :meth:`AESTraceAcquisition.collect`.
+
+        ``seed`` must be an integer or a :class:`numpy.random.
+        SeedSequence` (generators are rejected — see
+        :func:`repro.runtime.sharding.root_sequence`).  For a fixed
+        seed the returned :class:`TraceSet` is bit-identical at any
+        worker count.
+        """
+        aes = AES128(key)
+        if n_samples is None:
+            n_samples = acquisition.default_n_samples()
+        shards = plan_shards(n_traces, self.shard_size)
+        seqs = spawn_shard_sequences(seed, len(shards))
+        # Warm every model cache workers would otherwise rebuild: the
+        # moments table ships with the pickled sensor.
+        acquisition.sensor.precompute_moments()
+        acquisition.sensor.require_position()
+
+        if self.workers == 1:
+            traces = np.empty((n_traces, n_samples), dtype=np.int16)
+            pts = np.empty((n_traces, 16), dtype=np.uint8)
+            cts = np.empty((n_traces, 16), dtype=np.uint8)
+            self._drive(
+                "collect", n_traces, shards, seqs,
+                lambda shard, seq: _run_collect_shard(
+                    acquisition, aes, n_samples, shard, seq, traces, pts, cts
+                ),
+                _collect_shard_task, _init_collect_worker, (),
+            )
+        else:
+            buffers = _SharedBuffers(
+                {
+                    "traces": ((n_traces, n_samples), np.dtype(np.int16)),
+                    "pts": ((n_traces, 16), np.dtype(np.uint8)),
+                    "cts": ((n_traces, 16), np.dtype(np.uint8)),
+                }
+            )
+            try:
+                self._drive(
+                    "collect", n_traces, shards, seqs,
+                    lambda shard, seq: None,  # unused on the pool path
+                    _collect_shard_task,
+                    _init_collect_worker,
+                    (acquisition, bytes(aes.key), n_samples, buffers.spec_for_worker),
+                )
+                traces = buffers.copy_out("traces")
+                pts = buffers.copy_out("pts")
+                cts = buffers.copy_out("cts")
+            finally:
+                buffers.close()
+
+        return TraceSet(
+            traces=traces,
+            plaintexts=pts,
+            ciphertexts=cts,
+            key=aes.key,
+            metadata=acquisition.trace_metadata(aes),
+        )
+
+    # ------------------------------------------------------------------
+    def characterize(
+        self,
+        sensor: VoltageSensor,
+        coupling: CouplingModel,
+        virus: PowerVirusBank,
+        active_groups: int,
+        n_readouts: int = 2000,
+        *,
+        seed: SeedLike = 0,
+        noise: Optional[NoiseModel] = None,
+    ) -> np.ndarray:
+        """Sharded equivalent of :func:`repro.traces.acquisition.
+        characterize_readouts` (deterministic at any worker count)."""
+        droop = characterize_droop(sensor, coupling, virus, active_groups)
+        noise = noise or NoiseModel(white_rms=sensor.constants.voltage_noise_rms)
+        shards = plan_shards(n_readouts, self.shard_size)
+        seqs = spawn_shard_sequences(seed, len(shards))
+
+        if self.workers == 1:
+            out = np.empty(n_readouts, dtype=np.int64)
+            self._drive(
+                "characterize", n_readouts, shards, seqs,
+                lambda shard, seq: _run_characterize_shard(
+                    sensor, droop, noise, shard, seq, out
+                ),
+                _characterize_shard_task, _init_characterize_worker, (),
+            )
+            return out
+
+        buffers = _SharedBuffers({"out": ((n_readouts,), np.dtype(np.int64))})
+        try:
+            self._drive(
+                "characterize", n_readouts, shards, seqs,
+                lambda shard, seq: None,
+                _characterize_shard_task,
+                _init_characterize_worker,
+                (sensor, droop, noise, buffers.spec_for_worker),
+            )
+            return buffers.copy_out("out")
+        finally:
+            buffers.close()

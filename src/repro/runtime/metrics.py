@@ -1,0 +1,76 @@
+"""Per-shard and aggregate timing/throughput metrics.
+
+Every shard reports its wall time plus a stage split (sensor sampling
+vs. AES vs. PDN filtering), so a campaign's bottleneck is visible
+without profiling: ``EngineMetrics.stage_totals()`` answers "where did
+the cores go".  Shard seconds are measured inside the worker; the
+aggregate wall clock is measured by the engine around the whole run,
+so ``sum(shard seconds) / wall_seconds`` approximates the achieved
+parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class ShardMetrics:
+    """Timing of one completed shard."""
+
+    shard_index: int
+    n_items: int
+    seconds: float
+    #: Wall seconds per pipeline stage ("aes", "pdn", "sensor").
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def items_per_second(self) -> float:
+        """Shard throughput (traces/sec or readouts/sec)."""
+        return self.n_items / self.seconds if self.seconds > 0 else float("inf")
+
+
+@dataclass
+class EngineMetrics:
+    """Aggregate metrics for one engine run."""
+
+    kind: str
+    n_items: int
+    n_shards: int
+    workers: int
+    wall_seconds: float = 0.0
+    shards: List[ShardMetrics] = field(default_factory=list)
+
+    @property
+    def items_per_second(self) -> float:
+        """End-to-end throughput over the whole run."""
+        return self.n_items / self.wall_seconds if self.wall_seconds > 0 else float("inf")
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total in-shard compute time across all workers."""
+        return sum(s.seconds for s in self.shards)
+
+    @property
+    def parallelism(self) -> float:
+        """Achieved parallelism: busy seconds over wall seconds."""
+        return self.busy_seconds / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def stage_totals(self) -> Dict[str, float]:
+        """Summed per-stage seconds across shards."""
+        totals: Dict[str, float] = {}
+        for shard in self.shards:
+            for stage, seconds in shard.stage_seconds.items():
+                totals[stage] = totals.get(stage, 0.0) + seconds
+        return totals
+
+    def summary(self) -> str:
+        """One human-readable line for logs and progress output."""
+        stages = self.stage_totals()
+        split = ", ".join(f"{k} {v:.2f}s" for k, v in sorted(stages.items()))
+        return (
+            f"{self.kind}: {self.n_items} items in {self.wall_seconds:.2f}s "
+            f"({self.items_per_second:.0f}/s, {self.n_shards} shards, "
+            f"{self.workers} workers; {split})"
+        )

@@ -20,7 +20,7 @@ from typing import Optional
 import numpy as np
 
 from repro.config import DEFAULT_CONSTANTS, PhysicalConstants, RngLike, make_rng
-from repro.core.sensor import VoltageSensor
+from repro.core.sensor import SamplingMethod, VoltageSensor, resolve_sampling_method
 from repro.errors import ConfigurationError
 from repro.fpga.device import DeviceModel, xc7a35t
 from repro.fpga.netlist import Netlist
@@ -128,9 +128,17 @@ class RingOscillatorSensor(VoltageSensor):
         v = np.atleast_1d(np.asarray(voltages, dtype=float))
         return np.full(v.shape, 1.0 / np.sqrt(12.0))
 
-    def sample_readouts(self, voltages, rng: RngLike = None, method: str = "auto") -> np.ndarray:
+    def sample_readouts(
+        self,
+        voltages,
+        *,
+        rng: RngLike = None,
+        method=SamplingMethod.AUTO,
+    ) -> np.ndarray:
         """Counter sampling: floor of the accumulated phase plus a
-        uniform start-phase offset."""
+        uniform start-phase offset (the ``method`` distinction does not
+        apply to a counter; the argument is validated only)."""
+        resolve_sampling_method(method)
         rng = make_rng(rng)
         v = np.asarray(voltages, dtype=float)
         flat = np.atleast_1d(v).ravel()

@@ -10,6 +10,13 @@ Two harnesses:
   (Section IV-A): sample a sensor under a steady power-virus activity
   level.
 
+Both harnesses expose a *block* primitive (:meth:`AESTraceAcquisition.
+acquire_block`, :func:`characterize_block`) that computes one fully
+vectorized batch from an explicit RNG.  The serial entry points iterate
+blocks against a single generator; the process-pool engine in
+:mod:`repro.runtime` runs one block per shard against per-shard spawned
+generators — which is what makes parallel acquisition deterministic.
+
 One deliberate substitution: the paper chains plaintexts (each
 ciphertext becomes the next plaintext) to avoid repetition, which would
 serialize trace generation.  We draw plaintexts uniformly at random
@@ -21,12 +28,14 @@ own plaintext, exactly as chaining would leave it).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import numbers
+import time
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.config import DEFAULT_CONSTANTS, PhysicalConstants, RngLike, make_rng
-from repro.core.sensor import VoltageSensor
+from repro.core.sensor import SamplingMethod, VoltageSensor
 from repro.errors import AcquisitionError
 from repro.pdn.coupling import CouplingModel, LoadSite
 from repro.pdn.noise import NoiseModel
@@ -34,6 +43,38 @@ from repro.timing.sampling import ClockSpec
 from repro.traces.store import TraceSet
 from repro.victims.aes import AES128, AESHardwareModel
 from repro.victims.power_virus import PowerVirusBank
+
+
+def _coerce_group_count(active_groups, n_groups: int) -> int:
+    """Validate an ``active_groups`` argument into a plain int.
+
+    Accepts ints, numpy integers and integer-valued floats (a common
+    by-product of sweeping levels with ``numpy.linspace``); rejects
+    fractional values and anything outside ``0..n_groups``.
+    """
+    if isinstance(active_groups, bool):
+        raise AcquisitionError(
+            f"active_groups must be an integer, got {active_groups!r}"
+        )
+    if isinstance(active_groups, numbers.Integral):
+        count = int(active_groups)
+    elif isinstance(active_groups, numbers.Real):
+        as_float = float(active_groups)
+        if not as_float.is_integer():
+            raise AcquisitionError(
+                f"active_groups must be a whole number of groups, "
+                f"got {active_groups!r}"
+            )
+        count = int(as_float)
+    else:
+        raise AcquisitionError(
+            f"active_groups must be an integer, got {active_groups!r}"
+        )
+    if not 0 <= count <= n_groups:
+        raise AcquisitionError(
+            f"active_groups must be 0..{n_groups}, got {active_groups}"
+        )
+    return count
 
 
 class AESTraceAcquisition:
@@ -75,9 +116,72 @@ class AESTraceAcquisition:
             white_rms=constants.voltage_noise_rms, drift_rms=0.0
         )
 
+    def default_n_samples(self) -> int:
+        """Trace length used when ``n_samples`` is not given: the
+        encryption span plus one cycle of margin on either side."""
+        return self.hw_model.samples_per_block + 2 * self.hw_model.samples_per_cycle
+
+    def acquire_block(
+        self,
+        aes: AES128,
+        plaintexts: np.ndarray,
+        rng: np.random.Generator,
+        n_samples: int,
+        timings: Optional[Dict[str, float]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One fully vectorized acquisition block.
+
+        Runs the model pipeline (AES round states -> switching currents
+        -> PDN filter -> sensor sampling) for a batch of plaintexts,
+        drawing noise and sampling randomness from ``rng``.  When
+        ``timings`` is given, the per-stage wall seconds are accumulated
+        into its ``"aes"``, ``"pdn"`` and ``"sensor"`` keys.
+
+        Returns ``(readouts, ciphertexts)`` with shapes
+        ``(m, n_samples)`` int16 and ``(m, 16)`` uint8.
+        """
+        m = plaintexts.shape[0]
+        sensor_pos = self.sensor.require_position()
+        kappa = self.coupling.kappa(sensor_pos, self.aes_position)
+        dt = self.hw_model.sensor_clock.period
+
+        t0 = time.perf_counter()
+        hd = self.hw_model.cycle_hamming_distances(aes, plaintexts)
+        cts = aes.encrypt_blocks(plaintexts)
+        t1 = time.perf_counter()
+        currents = self.hw_model.current_waveform(hd, n_samples=n_samples)
+        droop = kappa * self.coupling.filter_currents(currents, dt)
+        t2 = time.perf_counter()
+        volts = self.sensor.constants.v_nominal - droop
+        volts += self.noise.sample(m * n_samples, rng).reshape(m, n_samples)
+        readouts = self.sensor.sample_readouts(
+            volts, rng=rng, method=SamplingMethod.NORMAL
+        )
+        t3 = time.perf_counter()
+        if timings is not None:
+            timings["aes"] = timings.get("aes", 0.0) + (t1 - t0)
+            timings["pdn"] = timings.get("pdn", 0.0) + (t2 - t1)
+            timings["sensor"] = timings.get("sensor", 0.0) + (t3 - t2)
+        return readouts.astype(np.int16), cts
+
+    def trace_metadata(self, key) -> Dict[str, object]:
+        """The acquisition-parameter metadata attached to trace sets."""
+        aes = key if isinstance(key, AES128) else AES128(key)
+        sensor_pos = self.sensor.require_position()
+        return {
+            "sensor": self.sensor.name,
+            "sensor_type": type(self.sensor).__name__,
+            "sensor_position": list(map(float, sensor_pos)),
+            "aes_position": list(map(float, self.aes_position)),
+            "aes_frequency_hz": self.hw_model.aes_clock.frequency,
+            "sensor_frequency_hz": self.hw_model.sensor_clock.frequency,
+            "samples_per_cycle": self.hw_model.samples_per_cycle,
+        }
+
     def collect(
         self,
         n_traces: int,
+        *,
         key,
         rng: RngLike = None,
         chunk_size: int = 4096,
@@ -85,18 +189,18 @@ class AESTraceAcquisition:
     ) -> TraceSet:
         """Run ``n_traces`` encryptions and record the sensor readouts.
 
-        Traces are generated in chunks to bound memory; every chunk is
-        fully vectorized (AES, PDN filter, sensor sampling).
+        All arguments after ``n_traces`` are keyword-only.  Traces are
+        generated in chunks to bound memory; every chunk is fully
+        vectorized (AES, PDN filter, sensor sampling).  For multi-core
+        collection use :meth:`repro.runtime.Engine.collect`, which
+        shards this workload deterministically across processes.
         """
         if n_traces <= 0:
             raise AcquisitionError("n_traces must be positive")
         rng = make_rng(rng)
         aes = AES128(key)
-        sensor_pos = self.sensor.require_position()
-        kappa = self.coupling.kappa(sensor_pos, self.aes_position)
-        dt = self.hw_model.sensor_clock.period
         if n_samples is None:
-            n_samples = self.hw_model.samples_per_block + 2 * self.hw_model.samples_per_cycle
+            n_samples = self.default_n_samples()
 
         traces = np.empty((n_traces, n_samples), dtype=np.int16)
         pts = np.empty((n_traces, 16), dtype=np.uint8)
@@ -106,15 +210,10 @@ class AESTraceAcquisition:
         while done < n_traces:
             m = min(chunk_size, n_traces - done)
             chunk_pts = rng.integers(0, 256, size=(m, 16), dtype=np.uint8)
-            hd = self.hw_model.cycle_hamming_distances(aes, chunk_pts)
-            currents = self.hw_model.current_waveform(hd, n_samples=n_samples)
-            droop = kappa * self.coupling.filter_currents(currents, dt)
-            volts = self.sensor.constants.v_nominal - droop
-            volts += self.noise.sample(m * n_samples, rng).reshape(m, n_samples)
-            readouts = self.sensor.sample_readouts(volts, rng=rng, method="normal")
-            traces[done : done + m] = readouts.astype(np.int16)
+            readouts, chunk_cts = self.acquire_block(aes, chunk_pts, rng, n_samples)
+            traces[done : done + m] = readouts
             pts[done : done + m] = chunk_pts
-            cts[done : done + m] = aes.encrypt_blocks(chunk_pts)
+            cts[done : done + m] = chunk_cts
             done += m
 
         return TraceSet(
@@ -122,16 +221,44 @@ class AESTraceAcquisition:
             plaintexts=pts,
             ciphertexts=cts,
             key=aes.key,
-            metadata={
-                "sensor": self.sensor.name,
-                "sensor_type": type(self.sensor).__name__,
-                "sensor_position": list(map(float, sensor_pos)),
-                "aes_position": list(map(float, self.aes_position)),
-                "aes_frequency_hz": self.hw_model.aes_clock.frequency,
-                "sensor_frequency_hz": self.hw_model.sensor_clock.frequency,
-                "samples_per_cycle": self.hw_model.samples_per_cycle,
-            },
+            metadata=self.trace_metadata(aes),
         )
+
+
+def characterize_droop(
+    sensor: VoltageSensor,
+    coupling: CouplingModel,
+    virus: PowerVirusBank,
+    active_groups: int,
+) -> float:
+    """Steady-state droop [V] at the sensor for a virus activity level
+    (the deterministic part of :func:`characterize_readouts`)."""
+    active_groups = _coerce_group_count(active_groups, virus.n_groups)
+    sensor_pos = sensor.require_position()
+    enables = np.zeros(virus.n_groups)
+    enables[:active_groups] = 1.0
+    return float(virus.droop_at(coupling, sensor_pos, enables))
+
+
+def characterize_block(
+    sensor: VoltageSensor,
+    droop: float,
+    noise: NoiseModel,
+    n_readouts: int,
+    rng: np.random.Generator,
+    timings: Optional[Dict[str, float]] = None,
+) -> np.ndarray:
+    """One vectorized characterization block: noisy voltages around a
+    precomputed droop, sampled with the exact per-bit method."""
+    t0 = time.perf_counter()
+    volts = sensor.constants.v_nominal - droop + noise.sample(n_readouts, rng)
+    t1 = time.perf_counter()
+    readouts = sensor.sample_readouts(volts, rng=rng, method=SamplingMethod.EXACT)
+    t2 = time.perf_counter()
+    if timings is not None:
+        timings["pdn"] = timings.get("pdn", 0.0) + (t1 - t0)
+        timings["sensor"] = timings.get("sensor", 0.0) + (t2 - t1)
+    return readouts
 
 
 def characterize_readouts(
@@ -156,6 +283,8 @@ def characterize_readouts(
         Placed power-virus bank.
     active_groups:
         How many of the bank's groups are enabled (0 .. n_groups).
+        Integer-valued floats are coerced; fractional values raise
+        :class:`~repro.errors.AcquisitionError`.
     n_readouts:
         Readouts to sample (the paper uses 2,000 per level).
 
@@ -164,16 +293,7 @@ def characterize_readouts(
     numpy.ndarray
         ``(n_readouts,)`` integer readouts.
     """
-    if not 0 <= active_groups <= virus.n_groups:
-        raise AcquisitionError(
-            f"active_groups must be 0..{virus.n_groups}, got {active_groups}"
-        )
+    droop = characterize_droop(sensor, coupling, virus, active_groups)
     rng = make_rng(rng)
-    sensor_pos = sensor.require_position()
-    enables = np.zeros(virus.n_groups)
-    enables[:active_groups] = 1.0
-    droop = virus.droop_at(coupling, sensor_pos, enables)
-    constants = sensor.constants
-    noise = noise or NoiseModel(white_rms=constants.voltage_noise_rms)
-    volts = constants.v_nominal - droop + noise.sample(n_readouts, rng)
-    return sensor.sample_readouts(volts, rng=rng, method="exact")
+    noise = noise or NoiseModel(white_rms=sensor.constants.voltage_noise_rms)
+    return characterize_block(sensor, droop, noise, n_readouts, rng)

@@ -1,0 +1,223 @@
+"""Tests for the parallel acquisition runtime.
+
+The load-bearing property: for a fixed seed and shard size, the engine's
+output is bit-identical at any worker count, and ``Engine(workers=1)``
+is the serial reference path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import calibrate
+from repro.core.leaky_dsp import LeakyDSP
+from repro.errors import AcquisitionError, ConfigurationError
+from repro.fpga.placement import Pblock, Placer
+from repro.pdn.coupling import CouplingModel
+from repro.runtime import Engine, plan_shards, root_sequence, spawn_shard_sequences
+from repro.timing.sampling import ClockSpec
+from repro.traces.acquisition import (
+    AESTraceAcquisition,
+    characterize_readouts,
+)
+from repro.victims.aes import AESHardwareModel
+
+KEY = bytes(range(16))
+
+
+@pytest.fixture(scope="module")
+def acquisition(basys3_device):
+    coupling = CouplingModel(basys3_device)
+    placer = Placer(basys3_device)
+    sensor = LeakyDSP(device=basys3_device, seed=7)
+    sensor.place(
+        placer, pblock=Pblock.from_region(basys3_device.region_by_name("X1Y0"))
+    )
+    calibrate(sensor, rng=0)
+    hw = AESHardwareModel(ClockSpec(20e6), ClockSpec(300e6))
+    return AESTraceAcquisition(sensor, coupling, hw, (10.0, 25.0))
+
+
+@pytest.fixture(scope="module")
+def characterization():
+    from repro.experiments import common
+
+    setup = common.Basys3Setup.create()
+    virus = common.make_virus(setup, n_instances=800, n_groups=8)
+    sensor = common.make_leakydsp(
+        setup, common.region_pblock(setup.device, 2), seed=9
+    )
+    return sensor, setup.coupling, virus
+
+
+class TestShardPlanning:
+    def test_covers_range_without_overlap(self):
+        shards = plan_shards(1000, 128)
+        assert shards[0].start == 0
+        assert shards[-1].stop == 1000
+        for a, b in zip(shards, shards[1:]):
+            assert a.stop == b.start
+        assert sum(s.size for s in shards) == 1000
+
+    def test_single_shard(self):
+        shards = plan_shards(10, 128)
+        assert len(shards) == 1
+        assert shards[0].slice == slice(0, 10)
+
+    def test_plan_independent_of_workers(self):
+        # The plan is a pure function of (n_items, shard_size).
+        assert plan_shards(999, 100) == plan_shards(999, 100)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            plan_shards(0, 128)
+        with pytest.raises(ConfigurationError):
+            plan_shards(10, 0)
+
+    def test_spawned_sequences_are_distinct(self):
+        seqs = spawn_shard_sequences(3, 4)
+        states = [tuple(s.generate_state(2)) for s in seqs]
+        assert len(set(states)) == 4
+
+    def test_root_sequence_rejects_generators(self):
+        with pytest.raises(ConfigurationError):
+            root_sequence(np.random.default_rng(0))
+
+    def test_root_sequence_accepts_seed_sequence(self):
+        seq = np.random.SeedSequence(5)
+        assert root_sequence(seq) is seq
+
+
+class TestEngineCollect:
+    def test_identical_across_worker_counts(self, acquisition):
+        reference = Engine(workers=1, shard_size=16).collect(
+            acquisition, 100, key=KEY, seed=3
+        )
+        for workers in (2, 4):
+            ts = Engine(workers=workers, shard_size=16).collect(
+                acquisition, 100, key=KEY, seed=3
+            )
+            np.testing.assert_array_equal(ts.traces, reference.traces)
+            np.testing.assert_array_equal(ts.plaintexts, reference.plaintexts)
+            np.testing.assert_array_equal(ts.ciphertexts, reference.ciphertexts)
+            np.testing.assert_array_equal(ts.key, reference.key)
+
+    def test_serial_engine_matches_itself(self, acquisition):
+        a = Engine(workers=1, shard_size=32).collect(acquisition, 50, key=KEY, seed=1)
+        b = Engine(workers=1, shard_size=32).collect(acquisition, 50, key=KEY, seed=1)
+        np.testing.assert_array_equal(a.traces, b.traces)
+
+    def test_seed_changes_output(self, acquisition):
+        a = Engine(workers=1, shard_size=32).collect(acquisition, 50, key=KEY, seed=1)
+        b = Engine(workers=1, shard_size=32).collect(acquisition, 50, key=KEY, seed=2)
+        assert not np.array_equal(a.plaintexts, b.plaintexts)
+
+    def test_ciphertexts_are_real_aes(self, acquisition):
+        from repro.victims.aes import AES128
+
+        ts = Engine(workers=1, shard_size=32).collect(acquisition, 10, key=KEY, seed=4)
+        aes = AES128(KEY)
+        expected = aes.encrypt_blocks(ts.plaintexts)
+        np.testing.assert_array_equal(ts.ciphertexts, expected)
+
+    def test_metadata_and_metrics(self, acquisition):
+        engine = Engine(workers=1, shard_size=16)
+        ts = engine.collect(acquisition, 40, key=KEY, seed=0)
+        assert ts.metadata["sensor_type"] == "LeakyDSP"
+        m = engine.last_metrics
+        assert m.kind == "collect"
+        assert m.n_items == 40
+        assert m.n_shards == 3
+        assert sum(s.n_items for s in m.shards) == 40
+        assert m.items_per_second > 0
+        stages = m.stage_totals()
+        assert {"aes", "pdn", "sensor"} <= set(stages)
+
+    def test_progress_events(self, acquisition):
+        events = []
+        engine = Engine(workers=1, shard_size=16, progress=events.append)
+        engine.collect(acquisition, 40, key=KEY, seed=0)
+        assert [e.done for e in events] == [16, 32, 40]
+        assert all(e.total == 40 for e in events)
+        assert all(e.kind == "collect" for e in events)
+
+    def test_generator_seed_rejected(self, acquisition):
+        with pytest.raises(ConfigurationError):
+            Engine(workers=1).collect(
+                acquisition, 10, key=KEY, seed=np.random.default_rng(0)
+            )
+
+    def test_bad_engine_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Engine(workers=0)
+        with pytest.raises(ConfigurationError):
+            Engine(shard_size=0)
+
+
+class TestEngineCharacterize:
+    def test_identical_across_worker_counts(self, characterization):
+        sensor, coupling, virus = characterization
+        reference = Engine(workers=1, shard_size=64).characterize(
+            sensor, coupling, virus, 4, 300, seed=11
+        )
+        for workers in (2, 3):
+            out = Engine(workers=workers, shard_size=64).characterize(
+                sensor, coupling, virus, 4, 300, seed=11
+            )
+            np.testing.assert_array_equal(out, reference)
+
+    def test_matches_noise_free_statistics(self, characterization):
+        # Engine readouts come from the same sensor model as the legacy
+        # path: their mean must sit near the noise-free readout.
+        sensor, coupling, virus = characterization
+        engine_out = Engine(workers=1).characterize(
+            sensor, coupling, virus, 8, 600, seed=0
+        )
+        legacy_out = characterize_readouts(
+            sensor, coupling, virus, 8, 600, rng=np.random.default_rng(0)
+        )
+        assert abs(engine_out.mean() - legacy_out.mean()) < 2.0
+
+    def test_progress_and_metrics(self, characterization):
+        sensor, coupling, virus = characterization
+        events = []
+        engine = Engine(workers=1, shard_size=100, progress=events.append)
+        engine.characterize(sensor, coupling, virus, 2, 250, seed=5)
+        assert [e.done for e in events] == [100, 200, 250]
+        assert engine.last_metrics.kind == "characterize"
+        assert engine.last_metrics.n_items == 250
+
+
+class TestActiveGroupsValidation:
+    def test_float_integral_accepted(self, characterization):
+        sensor, coupling, virus = characterization
+        a = characterize_readouts(
+            sensor, coupling, virus, 4.0, 50, rng=np.random.default_rng(1)
+        )
+        b = characterize_readouts(
+            sensor, coupling, virus, 4, 50, rng=np.random.default_rng(1)
+        )
+        np.testing.assert_array_equal(a, b)
+
+    def test_fractional_float_rejected(self, characterization):
+        sensor, coupling, virus = characterization
+        with pytest.raises(AcquisitionError):
+            characterize_readouts(sensor, coupling, virus, 2.5, 50)
+
+    def test_bool_rejected(self, characterization):
+        sensor, coupling, virus = characterization
+        with pytest.raises(AcquisitionError):
+            characterize_readouts(sensor, coupling, virus, True, 50)
+
+    def test_out_of_range_rejected(self, characterization):
+        sensor, coupling, virus = characterization
+        with pytest.raises(AcquisitionError):
+            characterize_readouts(sensor, coupling, virus, virus.n_groups + 1, 50)
+        with pytest.raises(AcquisitionError):
+            characterize_readouts(sensor, coupling, virus, -1, 50)
+
+    def test_numpy_integer_accepted(self, characterization):
+        sensor, coupling, virus = characterization
+        out = characterize_readouts(
+            sensor, coupling, virus, np.int64(3), 50, rng=np.random.default_rng(2)
+        )
+        assert out.shape == (50,)

@@ -77,6 +77,26 @@ class TestSampling:
         b = sensor.sample_readouts(v, rng=9, method="exact")
         np.testing.assert_array_equal(a, b)
 
+    def test_enum_member_accepted(self, sensor):
+        from repro.core.sensor import SamplingMethod
+
+        v = np.full(100, 0.99)
+        a = sensor.sample_readouts(v, rng=9, method=SamplingMethod.EXACT)
+        b = sensor.sample_readouts(v, rng=9, method="exact")
+        np.testing.assert_array_equal(a, b)
+
+    def test_rng_and_method_are_keyword_only(self, sensor):
+        with pytest.raises(TypeError):
+            sensor.sample_readouts(np.array([1.0]), 0)
+
+    def test_resolve_sampling_method(self):
+        from repro.core.sensor import SamplingMethod, resolve_sampling_method
+
+        assert resolve_sampling_method("normal") is SamplingMethod.NORMAL
+        assert resolve_sampling_method(SamplingMethod.AUTO) is SamplingMethod.AUTO
+        with pytest.raises(ConfigurationError):
+            resolve_sampling_method("bogus")
+
     def test_table_invalidated_on_tap_change(self, basys3_device):
         s = LeakyDSP(device=basys3_device, seed=4)
         s.set_taps(20, 0)

@@ -106,23 +106,23 @@ def acquisition(basys3_device):
 
 class TestAESAcquisition:
     def test_collect_shapes(self, acquisition):
-        ts = acquisition.collect(50, KEY, rng=1)
+        ts = acquisition.collect(50, key=KEY, rng=1)
         assert ts.traces.shape == (50, acquisition.hw_model.samples_per_block + 30)
         assert ts.plaintexts.shape == (50, 16)
 
     def test_ciphertexts_are_correct(self, acquisition):
-        ts = acquisition.collect(20, KEY, rng=2)
+        ts = acquisition.collect(20, key=KEY, rng=2)
         aes = AES128(KEY)
         np.testing.assert_array_equal(aes.encrypt_blocks(ts.plaintexts), ts.ciphertexts)
 
     def test_metadata_populated(self, acquisition):
-        ts = acquisition.collect(5, KEY, rng=3)
+        ts = acquisition.collect(5, key=KEY, rng=3)
         assert ts.metadata["aes_frequency_hz"] == 20e6
         assert ts.metadata["sensor_type"] == "LeakyDSP"
 
     def test_reproducible_for_same_chunking(self, acquisition):
-        a = acquisition.collect(30, KEY, rng=4, chunk_size=7)
-        b = acquisition.collect(30, KEY, rng=4, chunk_size=7)
+        a = acquisition.collect(30, key=KEY, rng=4, chunk_size=7)
+        b = acquisition.collect(30, key=KEY, rng=4, chunk_size=7)
         np.testing.assert_array_equal(a.plaintexts, b.plaintexts)
         np.testing.assert_array_equal(a.traces, b.traces)
 
@@ -131,24 +131,28 @@ class TestAESAcquisition:
         every chunking yields internally consistent campaigns."""
         aes = AES128(KEY)
         for chunk in (7, 30):
-            ts = acquisition.collect(30, KEY, rng=4, chunk_size=chunk)
+            ts = acquisition.collect(30, key=KEY, rng=4, chunk_size=chunk)
             np.testing.assert_array_equal(
                 aes.encrypt_blocks(ts.plaintexts), ts.ciphertexts
             )
 
     def test_nonpositive_count_rejected(self, acquisition):
         with pytest.raises(AcquisitionError):
-            acquisition.collect(0, KEY)
+            acquisition.collect(0, key=KEY)
+
+    def test_key_is_keyword_only(self, acquisition):
+        with pytest.raises(TypeError):
+            acquisition.collect(10, KEY)
 
     def test_traces_sit_in_sensor_range(self, acquisition):
-        ts = acquisition.collect(50, KEY, rng=5)
+        ts = acquisition.collect(50, key=KEY, rng=5)
         assert ts.traces.min() >= 0
         assert ts.traces.max() <= 48
 
     def test_encryption_visible_in_traces(self, acquisition):
         """Mean readout during the rounds is lower than during the
         lead-in (the core draws current while encrypting)."""
-        ts = acquisition.collect(300, KEY, rng=6)
+        ts = acquisition.collect(300, key=KEY, rng=6)
         spc = acquisition.hw_model.samples_per_cycle
         lead = ts.traces[:, : spc // 2].mean()
         busy = ts.traces[:, 5 * spc : 10 * spc].mean()
