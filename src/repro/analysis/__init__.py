@@ -6,6 +6,15 @@ from repro.analysis.stats import (
     snr,
     welch_t_test,
 )
+from repro.analysis.streaming import (
+    StreamingDiffMeans,
+    StreamingPearson,
+    StreamingWelchT,
+    SumMoments,
+    WelfordMoments,
+    iter_chunk_slices,
+    validate_chunk_size,
+)
 from repro.analysis.sweep import SweepResult, sweep
 
 __all__ = [
@@ -13,6 +22,13 @@ __all__ = [
     "pearson",
     "snr",
     "welch_t_test",
+    "StreamingDiffMeans",
+    "StreamingPearson",
+    "StreamingWelchT",
+    "SumMoments",
+    "WelfordMoments",
+    "iter_chunk_slices",
+    "validate_chunk_size",
     "SweepResult",
     "sweep",
 ]

@@ -1,0 +1,448 @@
+"""Streaming one-pass statistics for large trace campaigns.
+
+Every attack statistic in this repository — Pearson correlation (CPA),
+Welch's t (TVLA) and difference-of-means (DPA) — reduces to a handful of
+running sums over the trace stream.  The classes here maintain exactly
+those sums behind a uniform ``update(chunk) / merge(other) / finalize()``
+protocol, so trace matrices never have to be materialized: shards from
+:class:`repro.runtime.Engine` (or chunks from any other producer) can be
+folded in as they arrive, in any order.
+
+Reproducibility contract
+------------------------
+Sensor readouts are small integers (int16), and hypothesis values are
+0..8 Hamming weights, so every running sum these accumulators keep is an
+integer whose magnitude stays far below 2**53.  Each partial sum is then
+*exactly* representable in float64 and float64 addition of exact values
+is associative, which makes the accumulators **bit-reproducible for
+integer-valued inputs at any chunk size and any merge order** — the
+property the differential tests in ``tests/test_runtime.py`` and the
+hypothesis suite in ``tests/test_streaming_properties.py`` pin down.
+For general float inputs the same sums agree with a batch two-pass
+computation to ~1e-10 on well-scaled data; for hostile scalings use
+:class:`WelfordMoments`, whose Chan-style merge is numerically stable
+and whose variance can never go negative.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AttackError, ConfigurationError
+
+__all__ = [
+    "validate_chunk_size",
+    "iter_chunk_slices",
+    "WelfordMoments",
+    "SumMoments",
+    "StreamingPearson",
+    "StreamingWelchT",
+    "StreamingDiffMeans",
+]
+
+
+# ----------------------------------------------------------------------
+# Chunk validation — shared by every chunked path (acquisition.collect,
+# Engine.stream_attack, the accumulators themselves) so bad sizes fail
+# with a ReproError instead of a NumPy broadcasting error or an
+# infinite loop.
+# ----------------------------------------------------------------------
+
+
+def validate_chunk_size(chunk_size, *, allow_none: bool = False) -> Optional[int]:
+    """Validate a ``chunk_size`` argument into a positive int.
+
+    ``None`` is passed through when ``allow_none`` (meaning "one chunk
+    per shard/block").  Anything that is not a positive integer raises
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    if chunk_size is None:
+        if allow_none:
+            return None
+        raise ConfigurationError("chunk_size is required")
+    if isinstance(chunk_size, bool) or not isinstance(chunk_size, numbers.Integral):
+        raise ConfigurationError(
+            f"chunk_size must be a positive integer, got {chunk_size!r}"
+        )
+    if chunk_size <= 0:
+        raise ConfigurationError(
+            f"chunk_size must be a positive integer, got {chunk_size}"
+        )
+    return int(chunk_size)
+
+
+def iter_chunk_slices(
+    n_items: int, chunk_size: Optional[int]
+) -> Iterator[slice]:
+    """Slices covering ``0..n_items`` in ``chunk_size`` steps.
+
+    ``chunk_size=None`` yields the whole range as one slice.  Rejects
+    non-positive ``n_items`` and invalid chunk sizes with a
+    :class:`~repro.errors.ReproError` subclass.
+    """
+    chunk_size = validate_chunk_size(chunk_size, allow_none=True)
+    if n_items <= 0:
+        raise ConfigurationError(f"n_items must be positive, got {n_items}")
+    if chunk_size is None:
+        yield slice(0, n_items)
+        return
+    for start in range(0, n_items, chunk_size):
+        yield slice(start, min(start + chunk_size, n_items))
+
+
+def _as_chunk(x, name: str, n_columns: Optional[int] = None) -> np.ndarray:
+    """Validate one ``(m, k)`` chunk: 2-D, non-empty, optionally with a
+    fixed column count.  Returns a float64 view/copy."""
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim != 2:
+        raise AttackError(f"{name} chunk must be 2-D (rows, columns), got shape {arr.shape}")
+    if arr.shape[0] == 0:
+        raise AttackError(f"{name} chunk is empty (0 rows); chunked feeds must skip empty chunks")
+    if n_columns is not None and arr.shape[1] != n_columns:
+        raise AttackError(
+            f"{name} chunk must have {n_columns} columns, got {arr.shape[1]}"
+        )
+    return arr
+
+
+def _check_mergeable(a, b, attrs: Tuple[str, ...]) -> None:
+    """Raise unless ``b`` is a compatible accumulator of ``a``'s type."""
+    if type(a) is not type(b):
+        raise AttackError(
+            f"cannot merge {type(b).__name__} into {type(a).__name__}"
+        )
+    for attr in attrs:
+        if getattr(a, attr) != getattr(b, attr):
+            raise AttackError(
+                f"cannot merge accumulators with different {attr}: "
+                f"{getattr(a, attr)!r} != {getattr(b, attr)!r}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Moment accumulators.
+# ----------------------------------------------------------------------
+
+
+class WelfordMoments:
+    """Numerically stable per-column mean/variance (Welford + Chan merge).
+
+    Use this for float data of arbitrary scale: the M2 update is a sum
+    of non-negative terms, so the variance cannot go negative no matter
+    how hostile the input (the classic ``sum(x^2) - n*mean^2``
+    cancellation failure).  For integer readout streams prefer
+    :class:`SumMoments`, whose exact sums are additionally
+    bit-reproducible across chunkings.
+    """
+
+    def __init__(self, n_columns: int) -> None:
+        if n_columns <= 0:
+            raise AttackError("n_columns must be positive")
+        self.n_columns = int(n_columns)
+        self.n = 0
+        self._mean = np.zeros(self.n_columns)
+        self._m2 = np.zeros(self.n_columns)
+
+    def update(self, chunk) -> "WelfordMoments":
+        """Fold one ``(m, n_columns)`` chunk in."""
+        arr = _as_chunk(chunk, "moments", self.n_columns)
+        m = arr.shape[0]
+        chunk_mean = arr.mean(axis=0)
+        chunk_m2 = ((arr - chunk_mean) ** 2).sum(axis=0)
+        if self.n == 0:
+            self.n, self._mean, self._m2 = m, chunk_mean, chunk_m2
+            return self
+        n_total = self.n + m
+        delta = chunk_mean - self._mean
+        self._mean = self._mean + delta * (m / n_total)
+        self._m2 = self._m2 + chunk_m2 + delta**2 * (self.n * m / n_total)
+        self.n = n_total
+        return self
+
+    def merge(self, other: "WelfordMoments") -> "WelfordMoments":
+        """Fold another accumulator in (Chan et al. parallel update)."""
+        _check_mergeable(self, other, ("n_columns",))
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            self.n = other.n
+            self._mean = other._mean.copy()
+            self._m2 = other._m2.copy()
+            return self
+        n_total = self.n + other.n
+        delta = other._mean - self._mean
+        self._mean = self._mean + delta * (other.n / n_total)
+        self._m2 = self._m2 + other._m2 + delta**2 * (self.n * other.n / n_total)
+        self.n = n_total
+        return self
+
+    @property
+    def mean(self) -> np.ndarray:
+        """Per-column mean so far."""
+        if self.n == 0:
+            raise AttackError("no data accumulated")
+        return self._mean.copy()
+
+    def variance(self, ddof: int = 1) -> np.ndarray:
+        """Per-column variance; non-negative by construction."""
+        if self.n <= ddof:
+            raise AttackError(f"need more than {ddof} rows for ddof={ddof}")
+        return np.maximum(self._m2, 0.0) / (self.n - ddof)
+
+    def finalize(self) -> Tuple[int, np.ndarray, np.ndarray]:
+        """``(n, mean, sample variance)``."""
+        return self.n, self.mean, self.variance(ddof=1)
+
+
+class SumMoments:
+    """Per-column count / sum / sum-of-squares.
+
+    The raw-sums counterpart of :class:`WelfordMoments`: exact (hence
+    bit-reproducible under any chunking or merge order) whenever the
+    inputs are integer-valued with magnitudes far below 2**26.
+    """
+
+    def __init__(self, n_columns: int) -> None:
+        if n_columns <= 0:
+            raise AttackError("n_columns must be positive")
+        self.n_columns = int(n_columns)
+        self.n = 0
+        self._s = np.zeros(self.n_columns)
+        self._s2 = np.zeros(self.n_columns)
+
+    def update(self, chunk) -> "SumMoments":
+        """Fold one ``(m, n_columns)`` chunk in."""
+        arr = _as_chunk(chunk, "moments", self.n_columns)
+        self.n += arr.shape[0]
+        self._s += arr.sum(axis=0)
+        self._s2 += (arr**2).sum(axis=0)
+        return self
+
+    def merge(self, other: "SumMoments") -> "SumMoments":
+        """Fold another accumulator in."""
+        _check_mergeable(self, other, ("n_columns",))
+        self.n += other.n
+        self._s += other._s
+        self._s2 += other._s2
+        return self
+
+    @property
+    def mean(self) -> np.ndarray:
+        """Per-column mean so far."""
+        if self.n == 0:
+            raise AttackError("no data accumulated")
+        return self._s / self.n
+
+    def variance(self, ddof: int = 1) -> np.ndarray:
+        """Per-column variance, clamped at zero against cancellation."""
+        if self.n <= ddof:
+            raise AttackError(f"need more than {ddof} rows for ddof={ddof}")
+        centered = self._s2 - self._s**2 / self.n
+        return np.maximum(centered, 0.0) / (self.n - ddof)
+
+    def finalize(self) -> Tuple[int, np.ndarray, np.ndarray]:
+        """``(n, mean, sample variance)``."""
+        return self.n, self.mean, self.variance(ddof=1)
+
+
+# ----------------------------------------------------------------------
+# Pearson correlation — the CPA statistic.
+# ----------------------------------------------------------------------
+
+
+class StreamingPearson:
+    """One-pass Pearson correlation between hypothesis columns and
+    trace samples.
+
+    ``update(x, y)`` takes an ``(m, n_vars)`` hypothesis chunk and an
+    ``(m, n_samples)`` trace chunk; ``finalize()`` returns the
+    ``(n_vars, n_samples)`` correlation matrix.  Undefined correlations
+    (zero variance on either side) finalize to 0, matching the batch
+    CPA convention.
+    """
+
+    def __init__(self, n_vars: int, n_samples: int) -> None:
+        if n_vars <= 0 or n_samples <= 0:
+            raise AttackError("n_vars and n_samples must be positive")
+        self.n_vars = int(n_vars)
+        self.n_samples = int(n_samples)
+        self.n = 0
+        self._s_x = np.zeros(self.n_vars)
+        self._s_x2 = np.zeros(self.n_vars)
+        self._s_y = np.zeros(self.n_samples)
+        self._s_y2 = np.zeros(self.n_samples)
+        self._s_xy = np.zeros((self.n_vars, self.n_samples))
+
+    def update(self, x, y) -> "StreamingPearson":
+        """Fold one chunk in: ``x`` is ``(m, n_vars)``, ``y`` is
+        ``(m, n_samples)``."""
+        x = _as_chunk(x, "hypothesis", self.n_vars)
+        y = _as_chunk(y, "trace", self.n_samples)
+        if x.shape[0] != y.shape[0]:
+            raise AttackError(
+                f"hypothesis and trace chunks disagree on rows: "
+                f"{x.shape[0]} != {y.shape[0]}"
+            )
+        self.n += x.shape[0]
+        self._s_x += x.sum(axis=0)
+        self._s_x2 += (x**2).sum(axis=0)
+        self._s_y += y.sum(axis=0)
+        self._s_y2 += (y**2).sum(axis=0)
+        self._s_xy += x.T @ y
+        return self
+
+    def merge(self, other: "StreamingPearson") -> "StreamingPearson":
+        """Fold another accumulator in."""
+        _check_mergeable(self, other, ("n_vars", "n_samples"))
+        self.n += other.n
+        self._s_x += other._s_x
+        self._s_x2 += other._s_x2
+        self._s_y += other._s_y
+        self._s_y2 += other._s_y2
+        self._s_xy += other._s_xy
+        return self
+
+    def finalize(self) -> np.ndarray:
+        """The ``(n_vars, n_samples)`` Pearson correlation matrix."""
+        if self.n < 2:
+            raise AttackError("need at least two rows to correlate")
+        n = float(self.n)
+        var_x = n * self._s_x2 - self._s_x**2
+        var_y = n * self._s_y2 - self._s_y**2
+        cov = n * self._s_xy - self._s_x[:, None] * self._s_y[None, :]
+        denom = np.sqrt(
+            np.maximum(var_x[:, None], 0.0) * np.maximum(var_y[None, :], 0.0)
+        )
+        with np.errstate(invalid="ignore", divide="ignore"):
+            rho = cov / denom
+        return np.nan_to_num(rho, nan=0.0)
+
+
+# ----------------------------------------------------------------------
+# Welch's t — the TVLA statistic.
+# ----------------------------------------------------------------------
+
+
+class StreamingWelchT:
+    """One-pass per-sample Welch t between two trace classes.
+
+    Feed fixed-class chunks with ``update_fixed`` and random-class
+    chunks with ``update_random`` (or ``update(chunk, label)`` with
+    label 0 = fixed, 1 = random); ``finalize()`` returns the per-sample
+    t statistics.  Zero-variance samples finalize to t = 0, matching
+    :func:`repro.analysis.tvla.fixed_vs_random_t`.
+    """
+
+    #: Class labels accepted by :meth:`update`.
+    FIXED, RANDOM = 0, 1
+
+    def __init__(self, n_samples: int) -> None:
+        if n_samples <= 0:
+            raise AttackError("n_samples must be positive")
+        self.n_samples = int(n_samples)
+        self._classes = (SumMoments(n_samples), SumMoments(n_samples))
+
+    @property
+    def n_fixed(self) -> int:
+        """Fixed-class traces accumulated so far."""
+        return self._classes[self.FIXED].n
+
+    @property
+    def n_random(self) -> int:
+        """Random-class traces accumulated so far."""
+        return self._classes[self.RANDOM].n
+
+    def update(self, chunk, label: int) -> "StreamingWelchT":
+        """Fold one ``(m, n_samples)`` chunk of class ``label`` in."""
+        if label not in (self.FIXED, self.RANDOM):
+            raise AttackError(f"label must be 0 (fixed) or 1 (random), got {label!r}")
+        self._classes[label].update(chunk)
+        return self
+
+    def update_fixed(self, chunk) -> "StreamingWelchT":
+        """Fold one fixed-class chunk in."""
+        return self.update(chunk, self.FIXED)
+
+    def update_random(self, chunk) -> "StreamingWelchT":
+        """Fold one random-class chunk in."""
+        return self.update(chunk, self.RANDOM)
+
+    def merge(self, other: "StreamingWelchT") -> "StreamingWelchT":
+        """Fold another accumulator in."""
+        _check_mergeable(self, other, ("n_samples",))
+        for mine, theirs in zip(self._classes, other._classes):
+            mine.merge(theirs)
+        return self
+
+    def finalize(self) -> np.ndarray:
+        """Per-sample Welch t statistics, ``(n_samples,)``."""
+        fixed, rand = self._classes
+        if fixed.n < 2 or rand.n < 2:
+            raise AttackError("need at least two traces per class")
+        se2 = fixed.variance(ddof=1) / fixed.n + rand.variance(ddof=1) / rand.n
+        with np.errstate(invalid="ignore", divide="ignore"):
+            t = (fixed.mean - rand.mean) / np.sqrt(se2)
+        return np.nan_to_num(t, nan=0.0)
+
+
+# ----------------------------------------------------------------------
+# Difference of means — the DPA statistic.
+# ----------------------------------------------------------------------
+
+
+class StreamingDiffMeans:
+    """One-pass difference-of-means over a binary partition per
+    hypothesis variable.
+
+    ``update(bits, y)`` takes an ``(m, n_vars)`` 0/1 partition chunk
+    and an ``(m, n_samples)`` trace chunk; ``finalize()`` returns the
+    ``(n_vars, n_samples)`` difference between the partition-1 and
+    partition-0 mean traces.  Empty partitions contribute a zero mean,
+    matching the batch DPA convention.
+    """
+
+    def __init__(self, n_vars: int, n_samples: int) -> None:
+        if n_vars <= 0 or n_samples <= 0:
+            raise AttackError("n_vars and n_samples must be positive")
+        self.n_vars = int(n_vars)
+        self.n_samples = int(n_samples)
+        self.n = 0
+        self._count = np.zeros((self.n_vars, 2))
+        self._sums = np.zeros((self.n_vars, 2, self.n_samples))
+
+    def update(self, bits, y) -> "StreamingDiffMeans":
+        """Fold one chunk in: ``bits`` is ``(m, n_vars)`` of 0/1,
+        ``y`` is ``(m, n_samples)``."""
+        y = _as_chunk(y, "trace", self.n_samples)
+        bits = np.asarray(bits)
+        if bits.ndim != 2 or bits.shape != (y.shape[0], self.n_vars):
+            raise AttackError(
+                f"bits chunk must be ({y.shape[0]}, {self.n_vars}), "
+                f"got {bits.shape}"
+            )
+        self.n += y.shape[0]
+        for value in (0, 1):
+            mask = bits == value  # (m, n_vars)
+            self._count[:, value] += mask.sum(axis=0)
+            self._sums[:, value] += mask.T.astype(np.float64) @ y
+        return self
+
+    def merge(self, other: "StreamingDiffMeans") -> "StreamingDiffMeans":
+        """Fold another accumulator in."""
+        _check_mergeable(self, other, ("n_vars", "n_samples"))
+        self.n += other.n
+        self._count += other._count
+        self._sums += other._sums
+        return self
+
+    def finalize(self) -> np.ndarray:
+        """The ``(n_vars, n_samples)`` difference-of-means matrix."""
+        if self.n < 2:
+            raise AttackError("need at least two rows before evaluating")
+        with np.errstate(invalid="ignore", divide="ignore"):
+            means = self._sums / self._count[..., None]
+        means = np.nan_to_num(means, nan=0.0)
+        return means[:, 1, :] - means[:, 0, :]

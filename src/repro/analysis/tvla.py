@@ -16,6 +16,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.streaming import StreamingWelchT
 from repro.config import RngLike, make_rng
 from repro.errors import AttackError
 from repro.traces.acquisition import AESTraceAcquisition
@@ -47,25 +48,80 @@ class TvlaResult:
         return self.leaky_samples.size > 0
 
 
+class StreamingTvla:
+    """Chunked fixed-vs-random TVLA.
+
+    A thin assessment shell over :class:`~repro.analysis.streaming.
+    StreamingWelchT`: feed fixed- and random-class trace chunks as they
+    are acquired (in any order, from any shard), then :meth:`finalize`
+    into the usual :class:`TvlaResult`.  Exact on integer readouts, so
+    any chunking of a campaign yields bit-identical t statistics.
+    """
+
+    def __init__(self, n_samples: int, threshold: float = TVLA_THRESHOLD) -> None:
+        self.threshold = threshold
+        self._welch = StreamingWelchT(n_samples)
+
+    @property
+    def n_samples(self) -> int:
+        """Samples per trace."""
+        return self._welch.n_samples
+
+    @property
+    def n_fixed(self) -> int:
+        """Fixed-class traces accumulated so far."""
+        return self._welch.n_fixed
+
+    @property
+    def n_random(self) -> int:
+        """Random-class traces accumulated so far."""
+        return self._welch.n_random
+
+    def update_fixed(self, chunk) -> "StreamingTvla":
+        """Fold one ``(m, n_samples)`` fixed-class chunk in."""
+        self._welch.update_fixed(chunk)
+        return self
+
+    def update_random(self, chunk) -> "StreamingTvla":
+        """Fold one ``(m, n_samples)`` random-class chunk in."""
+        self._welch.update_random(chunk)
+        return self
+
+    def merge(self, other: "StreamingTvla") -> "StreamingTvla":
+        """Fold another assessment's accumulated moments in."""
+        if not isinstance(other, StreamingTvla):
+            raise AttackError(
+                f"cannot merge {type(other).__name__} into StreamingTvla"
+            )
+        self._welch.merge(other._welch)
+        return self
+
+    def finalize(self) -> TvlaResult:
+        """The assessment over everything accumulated so far."""
+        if self._welch.n_fixed < 2 or self._welch.n_random < 2:
+            raise AttackError("need at least two traces per class")
+        return TvlaResult(self._welch.finalize(), self.threshold)
+
+
 def fixed_vs_random_t(
     fixed_traces: np.ndarray,
     random_traces: np.ndarray,
     threshold: float = TVLA_THRESHOLD,
 ) -> TvlaResult:
-    """Per-sample Welch t-statistics between the two trace classes."""
+    """Per-sample Welch t-statistics between the two trace classes.
+
+    Batch wrapper over :class:`StreamingTvla` (one update per class) —
+    the streamed and batch paths share one implementation by
+    construction.
+    """
     fixed = np.asarray(fixed_traces, dtype=np.float64)
     rand = np.asarray(random_traces, dtype=np.float64)
     if fixed.ndim != 2 or rand.ndim != 2 or fixed.shape[1] != rand.shape[1]:
         raise AttackError("fixed/random trace matrices must share a sample axis")
     if fixed.shape[0] < 2 or rand.shape[0] < 2:
         raise AttackError("need at least two traces per class")
-    mf, mr = fixed.mean(axis=0), rand.mean(axis=0)
-    vf = fixed.var(axis=0, ddof=1) / fixed.shape[0]
-    vr = rand.var(axis=0, ddof=1) / rand.shape[0]
-    denom = np.sqrt(vf + vr)
-    with np.errstate(invalid="ignore", divide="ignore"):
-        t = (mf - mr) / denom
-    return TvlaResult(np.nan_to_num(t, nan=0.0), threshold)
+    acc = StreamingTvla(fixed.shape[1], threshold)
+    return acc.update_fixed(fixed).update_random(rand).finalize()
 
 
 def assess_aes_leakage(

@@ -17,7 +17,13 @@ from repro.attacks.dpa import DPAAttack
 from repro.attacks.enumeration import enumerate_keys, enumeration_rank
 from repro.attacks.fingerprint import WorkloadFingerprinter
 from repro.attacks.key_rank import key_rank_bounds, scores_from_correlations
-from repro.attacks.metrics import guessing_entropy, rank_curve, traces_to_disclosure
+from repro.attacks.metrics import (
+    evaluate_rank_point,
+    guessing_entropy,
+    rank_curve,
+    streamed_rank_curve,
+    traces_to_disclosure,
+)
 
 __all__ = [
     "CPAAttack",
@@ -31,7 +37,9 @@ __all__ = [
     "enumeration_rank",
     "key_rank_bounds",
     "scores_from_correlations",
+    "evaluate_rank_point",
     "guessing_entropy",
     "rank_curve",
+    "streamed_rank_curve",
     "traces_to_disclosure",
 ]

@@ -28,6 +28,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.streaming import StreamingPearson
 from repro.errors import AttackError
 from repro.traces.store import TraceSet
 from repro.victims.aes.core import SHIFT_ROWS_IDX
@@ -52,6 +53,14 @@ def hypothesis_table() -> np.ndarray:
 
 class CPAAttack:
     """Incremental last-round CPA.
+
+    A thin attack-specific shell over per-byte
+    :class:`~repro.analysis.streaming.StreamingPearson` accumulators:
+    ``add_traces`` folds chunks in, :meth:`merge` combines independently
+    built attacks (the shard path of :meth:`repro.runtime.Engine.
+    stream_attack`), and because readouts and hypotheses are small
+    integers the accumulated sums — hence the correlations and key
+    ranks — are bit-identical for any chunking or merge order.
 
     Parameters
     ----------
@@ -78,13 +87,10 @@ class CPAAttack:
                 )
         self.n_samples = n_samples
         self.sample_window = sample_window
-        w = self._window_size
-        self._n = 0
-        self._s_t = np.zeros(w)
-        self._s_t2 = np.zeros(w)
-        self._s_h = np.zeros((self.N_BYTES, self.N_GUESSES))
-        self._s_h2 = np.zeros((self.N_BYTES, self.N_GUESSES))
-        self._s_ht = np.zeros((self.N_BYTES, self.N_GUESSES, w))
+        self._byte_corr = [
+            StreamingPearson(self.N_GUESSES, self._window_size)
+            for _ in range(self.N_BYTES)
+        ]
 
     @property
     def _window_size(self) -> int:
@@ -95,7 +101,7 @@ class CPAAttack:
     @property
     def n_traces(self) -> int:
         """Traces accumulated so far."""
-        return self._n
+        return self._byte_corr[0].n
 
     # ------------------------------------------------------------------
     def add_traces(self, traces: np.ndarray, ciphertexts: np.ndarray) -> None:
@@ -106,21 +112,21 @@ class CPAAttack:
             raise AttackError(
                 f"traces must be (m, {self.n_samples}), got {traces.shape}"
             )
+        if traces.shape[0] == 0:
+            raise AttackError("empty trace chunk; chunked feeds must skip empty chunks")
         if cts.shape != (traces.shape[0], 16):
             raise AttackError("ciphertexts must be (m, 16)")
         if self.sample_window is not None:
             traces = traces[:, self.sample_window[0] : self.sample_window[1]]
         table = hypothesis_table()
 
-        self._n += traces.shape[0]
-        self._s_t += traces.sum(axis=0)
-        self._s_t2 += (traces**2).sum(axis=0)
         for j in range(self.N_BYTES):
             partner = int(SHIFT_ROWS_IDX[j])
-            h = table[:, cts[:, j], cts[:, partner]].astype(np.float64)  # (256, m)
-            self._s_h[j] += h.sum(axis=1)
-            self._s_h2[j] += (h**2).sum(axis=1)
-            self._s_ht[j] += h @ traces
+            h = table[:, cts[:, j], cts[:, partner]]  # (256, m)
+            self._byte_corr[j].update(h.T, traces)
+
+    #: Uniform accumulator-protocol alias used by the streaming engine.
+    update = add_traces
 
     def add_trace_set(self, trace_set: TraceSet, limit: Optional[int] = None) -> None:
         """Accumulate (the first ``limit`` traces of) a
@@ -128,22 +134,33 @@ class CPAAttack:
         n = len(trace_set) if limit is None else min(limit, len(trace_set))
         self.add_traces(trace_set.traces[:n], trace_set.ciphertexts[:n])
 
+    def merge(self, other: "CPAAttack") -> "CPAAttack":
+        """Fold another attack's accumulated sums in.
+
+        Both attacks must share ``n_samples`` and ``sample_window``.
+        Merging is exact, so shard-local attacks merged in any order
+        equal one attack fed the same traces serially, bit for bit.
+        """
+        if not isinstance(other, CPAAttack):
+            raise AttackError(f"cannot merge {type(other).__name__} into CPAAttack")
+        if (
+            other.n_samples != self.n_samples
+            or other.sample_window != self.sample_window
+        ):
+            raise AttackError(
+                "cannot merge CPA attacks with different sample configuration"
+            )
+        for mine, theirs in zip(self._byte_corr, other._byte_corr):
+            mine.merge(theirs)
+        return self
+
     # ------------------------------------------------------------------
     def correlations(self) -> np.ndarray:
         """Pearson correlation per (key byte, guess, sample):
         ``(16, 256, window)``."""
-        if self._n < 2:
+        if self.n_traces < 2:
             raise AttackError("need at least two traces to correlate")
-        n = float(self._n)
-        var_t = n * self._s_t2 - self._s_t**2  # (w,)
-        var_h = n * self._s_h2 - self._s_h**2  # (16, 256)
-        cov = n * self._s_ht - self._s_h[:, :, None] * self._s_t[None, None, :]
-        denom = np.sqrt(
-            np.maximum(var_h[:, :, None], 0.0) * np.maximum(var_t[None, None, :], 0.0)
-        )
-        with np.errstate(invalid="ignore", divide="ignore"):
-            rho = cov / denom
-        return np.nan_to_num(rho, nan=0.0)
+        return np.stack([corr.finalize() for corr in self._byte_corr])
 
     def peak_correlations(self) -> np.ndarray:
         """Per (byte, guess) |correlation| maximized over samples:

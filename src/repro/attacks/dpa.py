@@ -24,6 +24,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.streaming import StreamingDiffMeans
 from repro.errors import AttackError
 from repro.victims.aes.core import SHIFT_ROWS_IDX
 from repro.victims.aes.sbox import INV_SBOX
@@ -31,6 +32,12 @@ from repro.victims.aes.sbox import INV_SBOX
 
 class DPAAttack:
     """Single-bit difference-of-means DPA on the last AES round.
+
+    Like :class:`~repro.attacks.cpa.CPAAttack`, a shell over per-byte
+    :class:`~repro.analysis.streaming.StreamingDiffMeans` accumulators —
+    chunk-order- and merge-order-invariant bit for bit on integer
+    readouts, so it plugs into :meth:`repro.runtime.Engine.stream_attack`
+    unchanged.
 
     Parameters
     ----------
@@ -50,14 +57,14 @@ class DPAAttack:
             raise AttackError("selection_bit must be 0..7")
         self.n_samples = n_samples
         self.selection_bit = selection_bit
-        # Per (byte, guess, partition): trace count and running sums.
-        self._count = np.zeros((16, self.N_GUESSES, 2))
-        self._sums = np.zeros((16, self.N_GUESSES, 2, n_samples))
+        self._byte_means = [
+            StreamingDiffMeans(self.N_GUESSES, n_samples) for _ in range(16)
+        ]
 
     @property
     def n_traces(self) -> int:
         """Traces accumulated so far."""
-        return int(self._count[0, 0].sum())
+        return self._byte_means[0].n
 
     def add_traces(self, traces: np.ndarray, ciphertexts: np.ndarray) -> None:
         """Accumulate a batch of traces and ciphertexts."""
@@ -65,6 +72,8 @@ class DPAAttack:
         cts = np.asarray(ciphertexts, dtype=np.uint8)
         if traces.ndim != 2 or traces.shape[1] != self.n_samples:
             raise AttackError(f"traces must be (m, {self.n_samples})")
+        if traces.shape[0] == 0:
+            raise AttackError("empty trace chunk; chunked feeds must skip empty chunks")
         if cts.shape != (traces.shape[0], 16):
             raise AttackError("ciphertexts must be (m, 16)")
         guesses = np.arange(self.N_GUESSES, dtype=np.uint8)[:, None]
@@ -72,20 +81,32 @@ class DPAAttack:
             partner = int(SHIFT_ROWS_IDX[j])
             transition = INV_SBOX[cts[:, j][None, :] ^ guesses] ^ cts[:, partner][None, :]
             bits = (transition >> self.selection_bit) & 1  # (256, m)
-            for value in (0, 1):
-                mask = bits == value  # (256, m)
-                self._count[j, :, value] += mask.sum(axis=1)
-                self._sums[j, :, value] += mask.astype(np.float64) @ traces
+            self._byte_means[j].update(bits.T, traces)
+
+    #: Uniform accumulator-protocol alias used by the streaming engine.
+    update = add_traces
+
+    def merge(self, other: "DPAAttack") -> "DPAAttack":
+        """Fold another attack's accumulated partition sums in."""
+        if not isinstance(other, DPAAttack):
+            raise AttackError(f"cannot merge {type(other).__name__} into DPAAttack")
+        if (
+            other.n_samples != self.n_samples
+            or other.selection_bit != self.selection_bit
+        ):
+            raise AttackError(
+                "cannot merge DPA attacks with different configuration"
+            )
+        for mine, theirs in zip(self._byte_means, other._byte_means):
+            mine.merge(theirs)
+        return self
 
     def difference_traces(self) -> np.ndarray:
         """Per (byte, guess) difference-of-means trace,
         ``(16, 256, n_samples)``."""
         if self.n_traces < 2:
             raise AttackError("need traces before evaluating DPA")
-        with np.errstate(invalid="ignore", divide="ignore"):
-            means = self._sums / self._count[..., None]
-        means = np.nan_to_num(means, nan=0.0)
-        return means[:, :, 1, :] - means[:, :, 0, :]
+        return np.stack([acc.finalize() for acc in self._byte_means])
 
     def peak_differences(self) -> np.ndarray:
         """Max |difference| over samples per (byte, guess) —

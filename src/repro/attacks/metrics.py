@@ -8,7 +8,8 @@ Fig. 6 (key rank vs. trace count).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from functools import partial
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -53,6 +54,31 @@ class RankCurve:
         return n, lo, hi
 
 
+def evaluate_rank_point(attack: CPAAttack, true_last_round, n_traces: int) -> RankPoint:
+    """Key-rank bounds of one attack state, as a :class:`RankPoint`.
+
+    "Broken" = the remaining key space is trivially enumerable (rank
+    upper bound <= 2^8); the attacker tests the candidates.
+    """
+    peaks = attack.peak_correlations()
+    scores = scores_from_correlations(peaks, attack.n_traces)
+    lo, hi = key_rank_bounds(scores, true_last_round)
+    return RankPoint(n_traces, lo, hi, hi <= 8.0)
+
+
+def _validated_checkpoints(checkpoints: Sequence[int], n_traces: int) -> List[int]:
+    checkpoints = sorted(set(int(c) for c in checkpoints))
+    if not checkpoints:
+        raise AttackError("need at least one checkpoint")
+    if checkpoints[0] < 4:
+        raise AttackError("checkpoints must be >= 4 traces")
+    if checkpoints[-1] > n_traces:
+        raise AttackError(
+            f"checkpoint {checkpoints[-1]} exceeds {n_traces} traces"
+        )
+    return checkpoints
+
+
 def rank_curve(
     trace_set: TraceSet,
     checkpoints: Sequence[int],
@@ -65,16 +91,7 @@ def rank_curve(
     pass over the traces plus one correlation/rank evaluation per
     checkpoint.
     """
-    checkpoints = sorted(set(int(c) for c in checkpoints))
-    if not checkpoints:
-        raise AttackError("need at least one checkpoint")
-    if checkpoints[0] < 4:
-        raise AttackError("checkpoints must be >= 4 traces")
-    if checkpoints[-1] > len(trace_set):
-        raise AttackError(
-            f"checkpoint {checkpoints[-1]} exceeds {len(trace_set)} traces"
-        )
-
+    checkpoints = _validated_checkpoints(checkpoints, len(trace_set))
     true_last_round = expand_key(trace_set.key)[10]
     attack = CPAAttack(trace_set.n_samples, sample_window=sample_window)
     curve = RankCurve()
@@ -84,13 +101,66 @@ def rank_curve(
             trace_set.traces[done:cp], trace_set.ciphertexts[done:cp]
         )
         done = cp
-        peaks = attack.peak_correlations()
-        scores = scores_from_correlations(peaks, attack.n_traces)
-        lo, hi = key_rank_bounds(scores, true_last_round)
-        # "Broken" = the remaining key space is trivially enumerable
-        # (rank upper bound <= 2^8); the attacker tests the candidates.
-        curve.points.append(RankPoint(cp, lo, hi, hi <= 8.0))
+        curve.points.append(evaluate_rank_point(attack, true_last_round, cp))
     return curve
+
+
+def streamed_rank_curve(
+    engine,
+    acquisition,
+    n_traces: int,
+    *,
+    key,
+    checkpoints: Sequence[int],
+    seed=0,
+    sample_window: Optional[Tuple[int, int]] = None,
+    chunk_size: Optional[int] = None,
+    on_point: Optional[Callable[[RankPoint], None]] = None,
+    attack: Optional[CPAAttack] = None,
+    trace_offset: int = 0,
+) -> Tuple[RankCurve, CPAAttack]:
+    """Acquire a campaign through :meth:`repro.runtime.Engine.
+    stream_attack` and evaluate key-rank bounds at each checkpoint —
+    without ever materializing the trace matrix.
+
+    Bit-identical to ``engine.collect(...)`` followed by
+    :func:`rank_curve` with the same seed and checkpoints, at any
+    worker count and chunk size.  ``on_point`` receives each
+    :class:`RankPoint` as soon as its checkpoint's shards have folded —
+    the incremental progress feed for long campaigns.
+
+    Pass ``attack`` (with ``trace_offset`` = traces it already holds)
+    to extend an earlier campaign; checkpoints then refer to the
+    combined trace count.
+
+    Returns ``(curve, attack)`` so callers can keep accumulating.
+    """
+    checkpoints = _validated_checkpoints(
+        [c - trace_offset for c in checkpoints], n_traces
+    )
+    true_last_round = expand_key(key)[10]
+    n_samples = acquisition.default_n_samples()
+    curve = RankCurve()
+
+    def on_checkpoint(done: int, acc) -> None:
+        point = evaluate_rank_point(acc, true_last_round, trace_offset + done)
+        curve.points.append(point)
+        if on_point is not None:
+            on_point(point)
+
+    attack = engine.stream_attack(
+        acquisition,
+        n_traces,
+        key=key,
+        consumer_factory=partial(CPAAttack, n_samples, sample_window),
+        seed=seed,
+        n_samples=n_samples,
+        chunk_size=chunk_size,
+        checkpoints=checkpoints,
+        on_checkpoint=on_checkpoint,
+        consumer=attack,
+    )
+    return curve, attack
 
 
 def traces_to_disclosure(

@@ -67,13 +67,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=4096,
         help="traces/readouts per engine shard",
     )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help=(
+            "traces per accumulator update in streaming attacks "
+            "(default: whole shard segments; any value is bit-identical)"
+        ),
+    )
     return parser
 
 
 def _progress_printer(name: str):
     def on_progress(event) -> None:
+        detail = f"  {event.detail}" if event.detail else ""
         print(
-            f"  [{name}] {event.kind}: {event.done}/{event.total}",
+            f"  [{name}] {event.kind}: {event.done}/{event.total}{detail}",
             file=sys.stderr,
         )
 
@@ -89,6 +99,7 @@ def _run_one(name: str, args) -> None:
         seed=args.seed,
         workers=args.workers,
         shard_size=args.shard_size,
+        chunk_size=args.chunk_size,
         progress=_progress_printer(name) if args.progress else None,
     )
     result = registry.run(name, config)

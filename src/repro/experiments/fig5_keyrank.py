@@ -22,8 +22,9 @@ from repro.experiments import common, registry
 from repro.experiments.table1_traces import (
     collect_placement_traces,
     disclosure_curve,
+    streamed_placement_curve,
 )
-from repro.runtime import Engine
+from repro.runtime import Engine, ProgressEvent
 from repro.runtime.sharding import root_sequence
 
 
@@ -54,6 +55,28 @@ class Fig5Result:
         return self.curves[placement].as_arrays()
 
 
+def _rank_progress(placement: str, n_traces: int, engine: Engine):
+    """Forward each incremental rank point through the engine's
+    progress hook (kind ``"keyrank"``)."""
+    if engine.progress is None:
+        return None
+
+    def on_point(point) -> None:
+        engine.progress(
+            ProgressEvent(
+                kind="keyrank",
+                done=point.n_traces,
+                total=n_traces,
+                detail=(
+                    f"{placement}: log2 rank <= {point.log2_upper:.1f}"
+                    + (" (broken)" if point.recovered else "")
+                ),
+            )
+        )
+
+    return on_point
+
+
 def run_fig5(
     placements: Sequence[str] = common.FIG5_PLACEMENTS,
     n_traces: int = 60_000,
@@ -62,8 +85,16 @@ def run_fig5(
     seed: int = 7,
     rng: RngLike = 3,
     engine: Optional[Engine] = None,
+    chunk_size: Optional[int] = None,
 ) -> Fig5Result:
-    """Reproduce Fig. 5 for the selected placements."""
+    """Reproduce Fig. 5 for the selected placements.
+
+    With an ``engine``, each campaign streams shard-by-shard into the
+    CPA accumulator (:func:`~repro.experiments.table1_traces.
+    streamed_placement_curve`) — bit-identical rank curves, peak memory
+    bounded by one shard instead of the whole campaign, and key-rank
+    progress reported incrementally through the engine's progress hook.
+    """
     if engine is None:
         gen = make_rng(rng)
         campaign_rngs = iter(lambda: gen, None)
@@ -71,15 +102,29 @@ def run_fig5(
         campaign_rngs = iter(root_sequence(rng).spawn(len(placements)))
     result = Fig5Result(rating_at=rating_at)
     for placement in placements:
-        ts = collect_placement_traces(
-            placement,
-            n_traces,
-            "LeakyDSP",
-            seed=seed,
-            rng=next(campaign_rngs),
-            engine=engine,
-        )
-        result.curves[placement] = disclosure_curve(ts, step)
+        if engine is None:
+            ts = collect_placement_traces(
+                placement,
+                n_traces,
+                "LeakyDSP",
+                seed=seed,
+                rng=next(campaign_rngs),
+                engine=engine,
+            )
+            result.curves[placement] = disclosure_curve(ts, step)
+        else:
+            curve, _attack = streamed_placement_curve(
+                engine,
+                placement,
+                n_traces,
+                step,
+                "LeakyDSP",
+                seed=seed,
+                rng=next(campaign_rngs),
+                chunk_size=chunk_size,
+                on_point=_rank_progress(placement, n_traces, engine),
+            )
+            result.curves[placement] = curve
     return result
 
 
@@ -125,6 +170,7 @@ def _run_protocol(config: registry.ExperimentConfig, engine: Engine) -> Fig5Resu
         },
         paper={},
     )
+    params.setdefault("chunk_size", config.chunk_size)
     return run_fig5(rng=np.random.SeedSequence(config.seed), engine=engine, **params)
 
 

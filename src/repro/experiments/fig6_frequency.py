@@ -23,6 +23,7 @@ from repro.experiments import common, registry
 from repro.experiments.table1_traces import (
     collect_placement_traces,
     disclosure_curve,
+    streamed_placement_curve,
 )
 from repro.runtime import Engine
 from repro.runtime.sharding import root_sequence
@@ -67,10 +68,17 @@ def run_fig6(
     seed: int = 7,
     rng: RngLike = 3,
     engine: Optional[Engine] = None,
+    chunk_size: Optional[int] = None,
 ) -> Fig6Result:
     """Reproduce Fig. 6: sweep the AES clock at the best placement,
     extending the campaign (like the paper's extra 20 k traces at
-    100 MHz) whenever the default budget fails."""
+    100 MHz) whenever the default budget fails.
+
+    With an ``engine``, campaigns stream into the CPA accumulator
+    shard-by-shard (bit-identical rank curves, bounded memory), and an
+    extension simply keeps folding into the same accumulator — the
+    batch path instead re-reduces the concatenated 80 k-trace matrix.
+    """
     if engine is None:
         gen = make_rng(rng)
         campaign_rngs = iter(lambda: gen, None)
@@ -80,36 +88,71 @@ def run_fig6(
     result = Fig6Result(placement=placement)
     for freq in frequencies:
         clock = ClockSpec(freq)
-        ts = collect_placement_traces(
-            placement,
-            n_traces,
-            "LeakyDSP",
-            aes_clock=clock,
-            seed=seed,
-            rng=next(campaign_rngs),
-            engine=engine,
-        )
-        curve = disclosure_curve(ts, step, aes_clock=clock)
-        extension_rng = next(campaign_rngs)
-        extended = False
-        if curve.traces_to_disclosure is None and extension > 0:
-            extra = collect_placement_traces(
+        if engine is None:
+            ts = collect_placement_traces(
                 placement,
-                extension,
+                n_traces,
                 "LeakyDSP",
                 aes_clock=clock,
                 seed=seed,
-                rng=extension_rng,
+                rng=next(campaign_rngs),
                 engine=engine,
             )
-            ts = ts.extend(extra)
             curve = disclosure_curve(ts, step, aes_clock=clock)
-            extended = True
+            extension_rng = next(campaign_rngs)
+            extended = False
+            n_collected = len(ts)
+            if curve.traces_to_disclosure is None and extension > 0:
+                extra = collect_placement_traces(
+                    placement,
+                    extension,
+                    "LeakyDSP",
+                    aes_clock=clock,
+                    seed=seed,
+                    rng=extension_rng,
+                    engine=engine,
+                )
+                ts = ts.extend(extra)
+                curve = disclosure_curve(ts, step, aes_clock=clock)
+                extended = True
+                n_collected = len(ts)
+        else:
+            curve, attack = streamed_placement_curve(
+                engine,
+                placement,
+                n_traces,
+                step,
+                "LeakyDSP",
+                aes_clock=clock,
+                seed=seed,
+                rng=next(campaign_rngs),
+                chunk_size=chunk_size,
+            )
+            extension_rng = next(campaign_rngs)
+            extended = False
+            n_collected = n_traces
+            if curve.traces_to_disclosure is None and extension > 0:
+                more, attack = streamed_placement_curve(
+                    engine,
+                    placement,
+                    extension,
+                    step,
+                    "LeakyDSP",
+                    aes_clock=clock,
+                    seed=seed,
+                    rng=extension_rng,
+                    chunk_size=chunk_size,
+                    attack=attack,
+                    trace_offset=n_traces,
+                )
+                curve.points.extend(more.points)
+                extended = True
+                n_collected = n_traces + extension
         result.points.append(
             FrequencyPoint(
                 frequency_hz=freq,
                 traces_to_break=curve.traces_to_disclosure,
-                n_collected=len(ts),
+                n_collected=n_collected,
                 extended=extended,
             )
         )
@@ -146,6 +189,7 @@ def _run_protocol(config: registry.ExperimentConfig, engine: Engine) -> Fig6Resu
         },
         paper={},
     )
+    params.setdefault("chunk_size", config.chunk_size)
     return run_fig6(rng=np.random.SeedSequence(config.seed), engine=engine, **params)
 
 

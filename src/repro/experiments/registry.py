@@ -35,6 +35,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.analysis.streaming import validate_chunk_size
 from repro.errors import ConfigurationError
 from repro.runtime import Engine, ProgressFn
 
@@ -62,6 +63,11 @@ class ExperimentConfig:
         passed to :func:`run`).
     shard_size:
         Traces/readouts per engine shard.
+    chunk_size:
+        Traces per accumulator update when an experiment streams its
+        campaign into an attack (``None`` folds whole shard segments).
+        Any value yields bit-identical results; smaller chunks bound
+        the transient working set.
     progress:
         Progress callback forwarded to the engine.
     options:
@@ -73,6 +79,7 @@ class ExperimentConfig:
     seed: int = 0
     workers: int = 1
     shard_size: int = 4096
+    chunk_size: Optional[int] = None
     progress: Optional[ProgressFn] = None
     options: Dict[str, Any] = field(default_factory=dict)
 
@@ -81,6 +88,7 @@ class ExperimentConfig:
             raise ConfigurationError(
                 f"unknown scale {self.scale!r}; expected one of {SCALES}"
             )
+        validate_chunk_size(self.chunk_size, allow_none=True)
 
     def make_engine(self) -> Engine:
         """An engine matching this configuration."""
@@ -218,6 +226,7 @@ def run(
             "scale": config.scale,
             "seed": config.seed,
             "workers": engine.workers,
+            "chunk_size": config.chunk_size,
             "options": dict(config.options),
         },
         seconds=seconds,

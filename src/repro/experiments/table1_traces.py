@@ -30,6 +30,26 @@ from repro.traces.store import TraceSet
 DEFAULT_KEY = bytes(range(16))
 
 
+def placement_acquisition(
+    placement: str,
+    sensor_type: str = "LeakyDSP",
+    aes_clock: ClockSpec = common.AES_CLOCK,
+    seed: int = 7,
+) -> AESTraceAcquisition:
+    """Build the acquisition harness for a sensor at one named
+    placement (fresh board per campaign, like reflashing the FPGA)."""
+    setup = common.Basys3Setup.create()
+    pblock = common.placement_pblock(setup.device, placement)
+    if sensor_type == "LeakyDSP":
+        sensor = common.make_leakydsp(setup, pblock, seed=seed)
+    elif sensor_type == "TDC":
+        sensor = common.make_tdc(setup, pblock, seed=seed)
+    else:
+        raise ValueError(f"unknown sensor type {sensor_type!r}")
+    hw = common.make_hw_model(aes_clock, setup.constants)
+    return AESTraceAcquisition(sensor, setup.coupling, hw, common.AES_POSITION)
+
+
 def collect_placement_traces(
     placement: str,
     n_traces: int,
@@ -41,28 +61,67 @@ def collect_placement_traces(
     engine: Optional[Engine] = None,
 ) -> TraceSet:
     """Collect an AES trace campaign with a sensor at one named
-    placement (fresh board per campaign, like reflashing the FPGA).
+    placement.
 
     With an ``engine``, collection runs on the sharded acquisition
     runtime (``rng`` must then be an integer seed or a
     :class:`numpy.random.SeedSequence`).
     """
-    setup = common.Basys3Setup.create()
-    pblock = common.placement_pblock(setup.device, placement)
-    if sensor_type == "LeakyDSP":
-        sensor = common.make_leakydsp(setup, pblock, seed=seed)
-    elif sensor_type == "TDC":
-        sensor = common.make_tdc(setup, pblock, seed=seed)
-    else:
-        raise ValueError(f"unknown sensor type {sensor_type!r}")
-    hw = common.make_hw_model(aes_clock, setup.constants)
-    acq = AESTraceAcquisition(sensor, setup.coupling, hw, common.AES_POSITION)
+    acq = placement_acquisition(placement, sensor_type, aes_clock, seed)
     if engine is None:
         trace_set = acq.collect(n_traces, key=key, rng=rng)
     else:
         trace_set = engine.collect(acq, n_traces, key=key, seed=rng)
     trace_set.metadata["placement"] = placement
     return trace_set
+
+
+def streamed_placement_curve(
+    engine: Engine,
+    placement: str,
+    n_traces: int,
+    step: int,
+    sensor_type: str = "LeakyDSP",
+    aes_clock: ClockSpec = common.AES_CLOCK,
+    key: bytes = DEFAULT_KEY,
+    seed: int = 7,
+    rng: RngLike = 3,
+    chunk_size: Optional[int] = None,
+    on_point=None,
+    attack=None,
+    trace_offset: int = 0,
+):
+    """Streamed equivalent of :func:`collect_placement_traces` +
+    :func:`disclosure_curve`: same campaign (same shard plan and random
+    streams, so bit-identical ranks), but the traces flow straight into
+    the CPA accumulator and the rank curve grows incrementally — the
+    full trace matrix never exists.
+
+    Returns ``(RankCurve, CPAAttack)``; pass the attack back (with
+    ``trace_offset``) to extend the campaign, Fig. 6 style.
+    """
+    from repro.attacks.metrics import streamed_rank_curve
+
+    acq = placement_acquisition(placement, sensor_type, aes_clock, seed)
+    hw = common.make_hw_model(aes_clock)
+    window = common.last_round_window(hw, acq.default_n_samples())
+    total = trace_offset + n_traces
+    checkpoints = [
+        cp for cp in range(step, total + 1, step) if cp > trace_offset
+    ]
+    return streamed_rank_curve(
+        engine,
+        acq,
+        n_traces,
+        key=key,
+        checkpoints=checkpoints,
+        seed=rng,
+        sample_window=window,
+        chunk_size=chunk_size,
+        on_point=on_point,
+        attack=attack,
+        trace_offset=trace_offset,
+    )
 
 
 def disclosure_curve(

@@ -36,6 +36,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.streaming import iter_chunk_slices, validate_chunk_size
 from repro.config import RngLike
 from repro.core.sensor import VoltageSensor
 from repro.errors import ConfigurationError
@@ -60,12 +61,18 @@ from repro.victims.power_virus import PowerVirusBank
 
 @dataclass(frozen=True)
 class ProgressEvent:
-    """Progress of an engine run, delivered as shards complete."""
+    """Progress of an engine run, delivered as shards complete.
+
+    ``shard`` is ``None`` for events not tied to one shard (e.g. the
+    attack-checkpoint events of streamed campaigns); ``detail`` carries
+    an optional human-readable annotation (e.g. the current key rank).
+    """
 
     kind: str
     done: int
     total: int
-    shard: ShardMetrics
+    shard: Optional[ShardMetrics] = None
+    detail: str = ""
 
 
 ProgressFn = Callable[[ProgressEvent], None]
@@ -103,6 +110,54 @@ def _run_collect_shard(
         seconds=time.perf_counter() - t0,
         stage_seconds=timings,
     )
+
+
+def _run_stream_shard(
+    acq: AESTraceAcquisition,
+    aes: AES128,
+    n_samples: int,
+    shard: Shard,
+    seed_seq: np.random.SeedSequence,
+    consumer_factory: Callable[[], object],
+    chunk_size: Optional[int],
+    boundaries: Tuple[int, ...],
+) -> Tuple[ShardMetrics, List[Tuple[int, object]]]:
+    """Acquire one shard and fold it into per-segment accumulators.
+
+    The random draws are identical to :func:`_run_collect_shard` (same
+    plaintexts, same noise), so a streamed campaign sees exactly the
+    traces a collected campaign would — it just never keeps them.  The
+    shard is split at the global checkpoint ``boundaries`` so the
+    parent can evaluate the attack at exact trace counts; each segment
+    becomes one fresh accumulator from ``consumer_factory``, fed in
+    ``chunk_size`` pieces.  Returns ``(metrics, [(end, accumulator),
+    ...])`` with ``end`` the global trace count the segment closes at.
+    """
+    t0 = time.perf_counter()
+    rng = np.random.default_rng(seed_seq)
+    timings: Dict[str, float] = {}
+    shard_pts = rng.integers(0, 256, size=(shard.size, 16), dtype=np.uint8)
+    readouts, shard_cts = acq.acquire_block(
+        aes, shard_pts, rng, n_samples, timings=timings
+    )
+    cuts = [b - shard.start for b in boundaries if shard.start < b < shard.stop]
+    edges = [0, *cuts, shard.size]
+    segments: List[Tuple[int, object]] = []
+    for lo, hi in zip(edges, edges[1:]):
+        part = consumer_factory()
+        for sl in iter_chunk_slices(hi - lo, chunk_size):
+            part.update(
+                readouts[lo + sl.start : lo + sl.stop],
+                shard_cts[lo + sl.start : lo + sl.stop],
+            )
+        segments.append((shard.start + hi, part))
+    metrics = ShardMetrics(
+        shard_index=shard.index,
+        n_items=shard.size,
+        seconds=time.perf_counter() - t0,
+        stage_seconds=timings,
+    )
+    return metrics, segments
 
 
 def _run_characterize_shard(
@@ -180,6 +235,26 @@ def _collect_shard_task(shard: Shard, seed_seq) -> ShardMetrics:
     return _run_collect_shard(
         w["acq"], w["aes"], w["n_samples"], shard, seed_seq,
         a["traces"], a["pts"], a["cts"],
+    )
+
+
+def _init_stream_worker(acq, key_bytes, n_samples, factory, chunk_size, boundaries):
+    _WORKER.clear()
+    _WORKER.update(
+        acq=acq,
+        aes=AES128(key_bytes),
+        n_samples=n_samples,
+        factory=factory,
+        chunk_size=chunk_size,
+        boundaries=boundaries,
+    )
+
+
+def _stream_shard_task(shard: Shard, seed_seq):
+    w = _WORKER
+    return _run_stream_shard(
+        w["acq"], w["aes"], w["n_samples"], shard, seed_seq,
+        w["factory"], w["chunk_size"], w["boundaries"],
     )
 
 
@@ -393,6 +468,133 @@ class Engine:
             key=aes.key,
             metadata=acquisition.trace_metadata(aes),
         )
+
+    # ------------------------------------------------------------------
+    def stream_attack(
+        self,
+        acquisition: AESTraceAcquisition,
+        n_traces: int,
+        *,
+        key,
+        consumer_factory: Callable[[], object],
+        seed: SeedLike = 0,
+        n_samples: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        checkpoints: Sequence[int] = (),
+        on_checkpoint: Optional[Callable[[int, object], None]] = None,
+        consumer: Optional[object] = None,
+    ) -> object:
+        """Acquire a campaign and fold it straight into an accumulator.
+
+        The streaming counterpart of :meth:`collect`: identical shard
+        plan, identical random streams — so the traces are bit-for-bit
+        the ones :meth:`collect` would return — but shards are folded
+        into a mergeable accumulator (anything exposing ``update(traces,
+        ciphertexts)`` and ``merge(other)``, e.g. :class:`~repro.attacks.
+        cpa.CPAAttack`) as they complete, and the full ``(n_traces,
+        n_samples)`` matrix is never materialized.  Peak memory is one
+        shard block plus the accumulators, independent of ``n_traces``.
+
+        Parameters
+        ----------
+        consumer_factory:
+            Zero-argument callable producing a fresh accumulator; must
+            be picklable for ``workers > 1`` (e.g. ``functools.partial(
+            CPAAttack, n_samples)``).
+        chunk_size:
+            Rows per ``update`` call within a shard (bounds the float64
+            working set of the accumulator hot path); ``None`` feeds
+            each shard segment whole.
+        checkpoints:
+            Strictly increasing trace counts at which ``on_checkpoint
+            (count, accumulator)`` fires with the accumulator holding
+            exactly the first ``count`` traces — incremental key-rank
+            progress without a second pass.
+        consumer:
+            Existing accumulator to continue (e.g. extend a campaign
+            that has not disclosed the key yet) instead of starting
+            from ``consumer_factory()``.
+
+        Returns the folded accumulator.  Results are bit-identical at
+        any worker count, chunk size and shard size for integer-readout
+        accumulators (see :mod:`repro.analysis.streaming`).
+        """
+        chunk_size = validate_chunk_size(chunk_size, allow_none=True)
+        boundaries = tuple(int(c) for c in checkpoints)
+        if list(boundaries) != sorted(set(boundaries)):
+            raise ConfigurationError("checkpoints must be strictly increasing")
+        if boundaries and not 0 < boundaries[0] <= boundaries[-1] <= n_traces:
+            raise ConfigurationError(
+                f"checkpoints must lie in 1..{n_traces}, got {boundaries}"
+            )
+        aes = AES128(key)
+        if n_samples is None:
+            n_samples = acquisition.default_n_samples()
+        shards = plan_shards(n_traces, self.shard_size)
+        seqs = spawn_shard_sequences(seed, len(shards))
+        acquisition.sensor.precompute_moments()
+        acquisition.sensor.require_position()
+
+        master = consumer if consumer is not None else consumer_factory()
+        checkpoint_set = set(boundaries)
+        pending: Dict[int, List[Tuple[int, object]]] = {}
+        next_index = 0
+
+        metrics = EngineMetrics(
+            kind="stream",
+            n_items=n_traces,
+            n_shards=len(shards),
+            workers=min(self.workers, len(shards)),
+        )
+        t0 = time.perf_counter()
+
+        def fold_ready() -> None:
+            """Merge completed shards in index order, firing checkpoints."""
+            nonlocal next_index
+            while next_index in pending:
+                for end, part in pending.pop(next_index):
+                    master.merge(part)
+                    if end in checkpoint_set and on_checkpoint is not None:
+                        on_checkpoint(end, master)
+                next_index += 1
+
+        if self.workers == 1:
+            done = 0
+            for shard, seq in zip(shards, seqs):
+                sm, segments = _run_stream_shard(
+                    acquisition, aes, n_samples, shard, seq,
+                    consumer_factory, chunk_size, boundaries,
+                )
+                metrics.shards.append(sm)
+                pending[shard.index] = segments
+                fold_ready()
+                done += shard.size
+                self._emit("stream", done, n_traces, sm)
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(shards)),
+                initializer=_init_stream_worker,
+                initargs=(
+                    acquisition, bytes(aes.key), n_samples,
+                    consumer_factory, chunk_size, boundaries,
+                ),
+            ) as pool:
+                futures = {
+                    pool.submit(_stream_shard_task, shard, seq): shard
+                    for shard, seq in zip(shards, seqs)
+                }
+                done = 0
+                for future in as_completed(futures):
+                    sm, segments = future.result()
+                    metrics.shards.append(sm)
+                    pending[futures[future].index] = segments
+                    fold_ready()
+                    done += futures[future].size
+                    self._emit("stream", done, n_traces, sm)
+        metrics.shards.sort(key=lambda s: s.shard_index)
+        metrics.wall_seconds = time.perf_counter() - t0
+        self.last_metrics = metrics
+        return master
 
     # ------------------------------------------------------------------
     def characterize(

@@ -34,6 +34,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.streaming import validate_chunk_size
 from repro.config import DEFAULT_CONSTANTS, PhysicalConstants, RngLike, make_rng
 from repro.core.sensor import SamplingMethod, VoltageSensor
 from repro.errors import AcquisitionError
@@ -197,6 +198,7 @@ class AESTraceAcquisition:
         """
         if n_traces <= 0:
             raise AcquisitionError("n_traces must be positive")
+        validate_chunk_size(chunk_size)
         rng = make_rng(rng)
         aes = AES128(key)
         if n_samples is None:

@@ -1,12 +1,47 @@
 """Shared fixtures: module-scoped device/board objects keep the suite
 fast (building site maps and placing 16k-cell viruses once, not per
-test)."""
+test).
+
+Also registers the deterministic hypothesis profile (derandomized, no
+deadline) used for tier-1 runs, and the ``--update-goldens`` flag that
+rewrites ``tests/golden/*.json`` from the current outputs.
+"""
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.fpga.device import xc7a35t, zu3eg
 from repro.fpga.placement import Placer
+
+try:  # hypothesis is a dev-only dependency; the suite degrades gracefully.
+    from hypothesis import HealthCheck, settings as hypothesis_settings
+
+    hypothesis_settings.register_profile(
+        "repro",
+        derandomize=True,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    pass
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from the current outputs",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_goldens(request):
+    """Whether this run should rewrite the golden files."""
+    return request.config.getoption("--update-goldens")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,150 @@
+"""Golden-file regression tests: seeded end-to-end runs pinned to
+committed JSON outputs.
+
+These catch *silent numerical drift* — a refactor that keeps every unit
+test green but shifts the statistics the figures are built from.  Each
+test runs a scaled-down but fully end-to-end campaign with fixed seeds
+and compares against ``tests/golden/<name>.json`` to 1e-9.
+
+To regenerate after an intentional change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_regression.py --update-goldens
+
+then review and commit the JSON diff.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import Engine
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+REL_TOL = 1e-9
+ABS_TOL = 1e-9
+
+
+def _diff(path, expected, actual, out):
+    """Collect human-readable mismatches between two JSON-ish values."""
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        for key in sorted(set(expected) | set(actual)):
+            if key not in expected:
+                out.append(f"{path}.{key}: unexpected new key")
+            elif key not in actual:
+                out.append(f"{path}.{key}: missing from current output")
+            else:
+                _diff(f"{path}.{key}", expected[key], actual[key], out)
+    elif isinstance(expected, list) and isinstance(actual, list):
+        if len(expected) != len(actual):
+            out.append(
+                f"{path}: length {len(actual)} != golden {len(expected)}"
+            )
+            return
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            _diff(f"{path}[{i}]", e, a, out)
+    elif isinstance(expected, bool) or isinstance(actual, bool):
+        if expected is not actual:
+            out.append(f"{path}: {actual!r} != golden {expected!r}")
+    elif isinstance(expected, (int, float)) and isinstance(actual, (int, float)):
+        if not math.isclose(expected, actual, rel_tol=REL_TOL, abs_tol=ABS_TOL):
+            out.append(
+                f"{path}: {actual!r} != golden {expected!r} "
+                f"(|delta| = {abs(actual - expected):.3e})"
+            )
+    elif expected != actual:
+        out.append(f"{path}: {actual!r} != golden {expected!r}")
+
+
+def check_golden(name, payload, update):
+    """Compare ``payload`` against ``tests/golden/<name>.json``."""
+    path = GOLDEN_DIR / f"{name}.json"
+    if update:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return
+    if not path.exists():
+        pytest.fail(
+            f"golden file {path} is missing; generate it with "
+            "pytest --update-goldens and commit it"
+        )
+    expected = json.loads(path.read_text())
+    mismatches = []
+    _diff(name, expected, payload, mismatches)
+    if mismatches:
+        shown = "\n  ".join(mismatches[:20])
+        more = len(mismatches) - 20
+        tail = f"\n  ... and {more} more" if more > 0 else ""
+        pytest.fail(
+            f"output drifted from golden {path.name} "
+            f"({len(mismatches)} mismatches):\n  {shown}{tail}\n"
+            "If the change is intentional, regenerate with "
+            "pytest --update-goldens and commit the JSON diff."
+        )
+
+
+class TestFig3Golden:
+    def test_sensitivity_statistics(self, update_goldens):
+        from repro.experiments.fig3_sensitivity import run_fig3
+
+        result = run_fig3(
+            n_instances=2000,
+            n_groups=8,
+            n_readouts=250,
+            seed=7,
+            rng=17,
+            engine=Engine(workers=1, shard_size=64),
+        )
+        payload = {
+            sensor: {
+                "levels": curve.levels,
+                "mean_readouts": curve.mean_readouts,
+                "pearson_r": curve.pearson_r,
+                "regression_coefficient": curve.regression_coefficient,
+            }
+            for sensor, curve in result.curves.items()
+        }
+        check_golden("fig3_sensitivity", payload, update_goldens)
+
+
+class TestFig5Golden:
+    def test_streamed_key_rank_curve(self, update_goldens):
+        from repro.experiments.table1_traces import streamed_placement_curve
+
+        engine = Engine(workers=1, shard_size=1024)
+        curve, attack = streamed_placement_curve(
+            engine, "P6", 4000, 1000, "LeakyDSP", rng=3, chunk_size=512
+        )
+        payload = {
+            "n_traces": attack.n_traces,
+            "points": [
+                {
+                    "n_traces": p.n_traces,
+                    "log2_lower": p.log2_lower,
+                    "log2_upper": p.log2_upper,
+                    "recovered": p.recovered,
+                }
+                for p in curve.points
+            ],
+        }
+        check_golden("fig5_keyrank_stream", payload, update_goldens)
+
+
+class TestTvlaGolden:
+    def test_t_values(self, update_goldens):
+        from repro.analysis.tvla import assess_aes_leakage
+        from repro.experiments.table1_traces import placement_acquisition
+
+        acq = placement_acquisition("P6")
+        result = assess_aes_leakage(
+            acq, bytes(range(16)), n_traces_per_class=300, rng=5
+        )
+        payload = {
+            "t_statistics": [float(t) for t in result.t_statistics],
+            "max_abs_t": result.max_abs_t,
+            "leaks": bool(result.leaks),
+            "n_leaky_samples": int(result.leaky_samples.size),
+        }
+        check_golden("tvla_t_values", payload, update_goldens)

@@ -5,9 +5,13 @@ output is bit-identical at any worker count, and ``Engine(workers=1)``
 is the serial reference path.
 """
 
+from functools import partial
+
 import numpy as np
 import pytest
 
+from repro.attacks.cpa import CPAAttack
+from repro.attacks.metrics import rank_curve, streamed_rank_curve
 from repro.core.calibration import calibrate
 from repro.core.leaky_dsp import LeakyDSP
 from repro.errors import AcquisitionError, ConfigurationError
@@ -185,6 +189,148 @@ class TestEngineCharacterize:
         assert [e.done for e in events] == [100, 200, 250]
         assert engine.last_metrics.kind == "characterize"
         assert engine.last_metrics.n_items == 250
+
+
+class TestEngineStreamAttack:
+    """stream_attack must reproduce the serial batch CPA bit-for-bit:
+    same seed => same traces => (exact integer sums) => identical
+    correlations, at any worker count and chunk size."""
+
+    @pytest.fixture(scope="class")
+    def batch(self, acquisition):
+        ts = Engine(workers=1, shard_size=16).collect(
+            acquisition, 120, key=KEY, seed=3
+        )
+        attack = CPAAttack(ts.n_samples)
+        attack.add_traces(ts.traces, ts.ciphertexts)
+        return ts, attack
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("chunk_size", [None, 7, 64])
+    def test_streamed_cpa_is_bit_identical(
+        self, acquisition, batch, workers, chunk_size
+    ):
+        ts, reference = batch
+        engine = Engine(workers=workers, shard_size=16)
+        attack = engine.stream_attack(
+            acquisition,
+            120,
+            key=KEY,
+            consumer_factory=partial(CPAAttack, ts.n_samples),
+            seed=3,
+            chunk_size=chunk_size,
+        )
+        assert attack.n_traces == reference.n_traces == 120
+        np.testing.assert_array_equal(
+            attack.correlations(), reference.correlations()
+        )
+        np.testing.assert_array_equal(
+            attack.best_guesses(), reference.best_guesses()
+        )
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_streamed_rank_curve_matches_batch(self, acquisition, batch, workers):
+        ts, _ = batch
+        checkpoints = [40, 80, 120]
+        expected = rank_curve(ts, checkpoints)
+        engine = Engine(workers=workers, shard_size=16)
+        curve, attack = streamed_rank_curve(
+            engine, acquisition, 120, key=KEY, checkpoints=checkpoints,
+            seed=3, chunk_size=25,
+        )
+        assert attack.n_traces == 120
+        got = [(p.n_traces, p.log2_lower, p.log2_upper, p.recovered)
+               for p in curve.points]
+        want = [(p.n_traces, p.log2_lower, p.log2_upper, p.recovered)
+                for p in expected.points]
+        assert got == want
+
+    def test_checkpoints_see_exact_prefixes(self, acquisition, batch):
+        ts, _ = batch
+        seen = []
+
+        def on_checkpoint(count, acc):
+            seen.append((count, acc.n_traces, acc.peak_correlations().copy()))
+
+        Engine(workers=1, shard_size=16).stream_attack(
+            acquisition, 120, key=KEY,
+            consumer_factory=partial(CPAAttack, ts.n_samples),
+            seed=3, checkpoints=[24, 120], on_checkpoint=on_checkpoint,
+        )
+        assert [(c, n) for c, n, _ in seen] == [(24, 24), (120, 120)]
+        for count, _, peaks in seen:
+            prefix = CPAAttack(ts.n_samples)
+            prefix.add_traces(ts.traces[:count], ts.ciphertexts[:count])
+            np.testing.assert_array_equal(peaks, prefix.peak_correlations())
+
+    def test_consumer_continues_accumulating(self, acquisition, batch):
+        ts, reference = batch
+        engine = Engine(workers=1, shard_size=16)
+        factory = partial(CPAAttack, ts.n_samples)
+        first = engine.stream_attack(
+            acquisition, 120, key=KEY, consumer_factory=factory, seed=3
+        )
+        again = engine.stream_attack(
+            acquisition, 40, key=KEY, consumer_factory=factory, seed=99,
+            consumer=first,
+        )
+        assert again is first
+        assert again.n_traces == 160
+
+    def test_stream_metrics_and_progress(self, acquisition):
+        events = []
+        engine = Engine(workers=1, shard_size=16, progress=events.append)
+        engine.stream_attack(
+            acquisition, 40, key=KEY,
+            consumer_factory=partial(CPAAttack, acquisition.default_n_samples()),
+            seed=0,
+        )
+        assert [e.done for e in events] == [16, 32, 40]
+        assert all(e.kind == "stream" for e in events)
+        m = engine.last_metrics
+        assert m.kind == "stream"
+        assert m.n_items == 40
+        assert sum(s.n_items for s in m.shards) == 40
+
+    def test_rejects_bad_chunk_size(self, acquisition):
+        factory = partial(CPAAttack, acquisition.default_n_samples())
+        for bad in (0, -1, 2.5):
+            with pytest.raises(ConfigurationError):
+                Engine(workers=1).stream_attack(
+                    acquisition, 20, key=KEY,
+                    consumer_factory=factory, chunk_size=bad,
+                )
+
+    def test_rejects_bad_checkpoints(self, acquisition):
+        factory = partial(CPAAttack, acquisition.default_n_samples())
+        engine = Engine(workers=1, shard_size=16)
+        with pytest.raises(ConfigurationError):
+            engine.stream_attack(
+                acquisition, 20, key=KEY, consumer_factory=factory,
+                checkpoints=[10, 10, 20],
+            )
+        with pytest.raises(ConfigurationError):
+            engine.stream_attack(
+                acquisition, 20, key=KEY, consumer_factory=factory,
+                checkpoints=[10, 40],
+            )
+        with pytest.raises(ConfigurationError):
+            engine.stream_attack(
+                acquisition, 20, key=KEY, consumer_factory=factory,
+                checkpoints=[0, 10],
+            )
+
+
+class TestAcquisitionChunkValidation:
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, "64"])
+    def test_collect_rejects_bad_chunk_size(self, acquisition, bad):
+        # chunk_size=0 used to loop forever; now it is rejected up front.
+        with pytest.raises(ConfigurationError):
+            acquisition.collect(10, key=KEY, rng=0, chunk_size=bad)
+
+    def test_collect_accepts_explicit_chunk_size(self, acquisition):
+        a = acquisition.collect(10, key=KEY, rng=0, chunk_size=3)
+        assert len(a) == 10
 
 
 class TestActiveGroupsValidation:

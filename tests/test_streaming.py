@@ -1,0 +1,304 @@
+"""Unit tests for the streaming accumulators
+(:mod:`repro.analysis.streaming`): chunk/merge semantics, agreement
+with batch NumPy, and input validation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.streaming import (
+    StreamingDiffMeans,
+    StreamingPearson,
+    StreamingWelchT,
+    SumMoments,
+    WelfordMoments,
+    iter_chunk_slices,
+    validate_chunk_size,
+)
+from repro.analysis.tvla import StreamingTvla, fixed_vs_random_t
+from repro.errors import AttackError, ConfigurationError, ReproError
+
+
+def batch_pearson(x, y):
+    """Reference (n_vars, n_samples) Pearson via np.corrcoef."""
+    k, w = x.shape[1], y.shape[1]
+    full = np.corrcoef(np.hstack([x, y]), rowvar=False)
+    return np.nan_to_num(full[:k, k:], nan=0.0)
+
+
+class TestChunkValidation:
+    def test_accepts_positive_ints(self):
+        assert validate_chunk_size(1) == 1
+        assert validate_chunk_size(np.int64(7)) == 7
+
+    @pytest.mark.parametrize("bad", [0, -1, -4096, 2.5, "64", True, False])
+    def test_rejects_non_positive_and_non_integers(self, bad):
+        with pytest.raises(ConfigurationError):
+            validate_chunk_size(bad)
+
+    def test_none_requires_opt_in(self):
+        assert validate_chunk_size(None, allow_none=True) is None
+        with pytest.raises(ConfigurationError):
+            validate_chunk_size(None)
+
+    def test_errors_are_repro_errors(self):
+        with pytest.raises(ReproError):
+            validate_chunk_size(0)
+
+    def test_iter_chunk_slices_covers_range(self):
+        slices = list(iter_chunk_slices(10, 4))
+        assert [(s.start, s.stop) for s in slices] == [(0, 4), (4, 8), (8, 10)]
+
+    def test_iter_chunk_slices_none_is_one_chunk(self):
+        assert [(s.start, s.stop) for s in iter_chunk_slices(7, None)] == [(0, 7)]
+
+    def test_iter_chunk_slices_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            list(iter_chunk_slices(0, 4))
+        with pytest.raises(ConfigurationError):
+            list(iter_chunk_slices(10, 0))
+
+
+class TestEmptyChunks:
+    def test_pearson_rejects_empty_chunk(self):
+        acc = StreamingPearson(3, 5)
+        with pytest.raises(AttackError, match="empty"):
+            acc.update(np.empty((0, 3)), np.empty((0, 5)))
+
+    def test_moments_reject_empty_chunk(self):
+        for acc in (SumMoments(4), WelfordMoments(4)):
+            with pytest.raises(AttackError, match="empty"):
+                acc.update(np.empty((0, 4)))
+
+    def test_welch_rejects_empty_chunk(self):
+        with pytest.raises(AttackError, match="empty"):
+            StreamingWelchT(4).update_fixed(np.empty((0, 4)))
+
+    def test_diff_means_rejects_empty_chunk(self):
+        with pytest.raises(AttackError, match="empty"):
+            StreamingDiffMeans(2, 4).update(np.empty((0, 2)), np.empty((0, 4)))
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(AttackError, match="2-D"):
+            SumMoments(4).update(np.ones(4))
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(AttackError, match="columns"):
+            SumMoments(4).update(np.ones((3, 5)))
+
+
+class TestMergeCompatibility:
+    def test_rejects_cross_type_merge(self):
+        with pytest.raises(AttackError, match="cannot merge"):
+            SumMoments(4).merge(WelfordMoments(4))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(AttackError, match="n_columns"):
+            SumMoments(4).merge(SumMoments(5))
+        with pytest.raises(AttackError, match="n_samples"):
+            StreamingPearson(3, 5).merge(StreamingPearson(3, 6))
+        with pytest.raises(AttackError, match="n_vars"):
+            StreamingDiffMeans(2, 5).merge(StreamingDiffMeans(3, 5))
+
+    def test_tvla_rejects_foreign_type(self):
+        with pytest.raises(AttackError, match="cannot merge"):
+            StreamingTvla(5).merge(StreamingWelchT(5))
+
+
+class TestMoments:
+    @pytest.mark.parametrize("cls", [SumMoments, WelfordMoments])
+    def test_matches_numpy(self, cls, rng):
+        data = rng.normal(3.0, 2.0, size=(200, 6))
+        acc = cls(6)
+        for sl in iter_chunk_slices(200, 33):
+            acc.update(data[sl])
+        n, mean, var = acc.finalize()
+        assert n == 200
+        np.testing.assert_allclose(mean, data.mean(axis=0), rtol=1e-12)
+        np.testing.assert_allclose(var, data.var(axis=0, ddof=1), rtol=1e-9)
+
+    def test_sum_moments_merge_is_bit_identical(self, rng):
+        data = rng.integers(-50, 50, size=(150, 4)).astype(float)
+        whole = SumMoments(4).update(data)
+        left = SumMoments(4).update(data[:70])
+        left.merge(SumMoments(4).update(data[70:]))
+        assert left.n == whole.n
+        np.testing.assert_array_equal(left.mean, whole.mean)
+        np.testing.assert_array_equal(left.variance(), whole.variance())
+
+    def test_welford_merge_matches_single_pass(self, rng):
+        # Welford trades bit-reproducibility for stability: the merge
+        # agrees with a single pass to float rounding, not bit-for-bit.
+        data = rng.integers(-50, 50, size=(150, 4)).astype(float)
+        whole = WelfordMoments(4).update(data)
+        left = WelfordMoments(4).update(data[:70])
+        left.merge(WelfordMoments(4).update(data[70:]))
+        assert left.n == whole.n
+        np.testing.assert_allclose(left.mean, whole.mean, rtol=1e-12)
+        np.testing.assert_allclose(left.variance(), whole.variance(), rtol=1e-10)
+
+    def test_merge_into_empty(self):
+        data = np.arange(12.0).reshape(4, 3)
+        acc = WelfordMoments(3)
+        acc.merge(WelfordMoments(3).update(data))
+        np.testing.assert_allclose(acc.mean, data.mean(axis=0))
+
+    def test_welford_variance_never_negative_on_huge_offset(self):
+        # Classic sum-of-squares cancellation: constant data at 1e9.
+        data = np.full((1000, 2), 1e9) + np.linspace(0, 1e-3, 1000)[:, None]
+        acc = WelfordMoments(2)
+        for sl in iter_chunk_slices(1000, 17):
+            acc.update(data[sl])
+        assert np.all(acc.variance() >= 0.0)
+
+    def test_sum_moments_variance_clamped(self):
+        acc = SumMoments(1).update(np.full((100, 1), 1e9))
+        assert np.all(acc.variance() >= 0.0)
+
+    @pytest.mark.parametrize("cls", [SumMoments, WelfordMoments])
+    def test_finalize_guards(self, cls):
+        with pytest.raises(AttackError):
+            cls(3).mean
+        with pytest.raises(AttackError):
+            cls(3).update(np.ones((1, 3))).variance()
+        with pytest.raises(AttackError):
+            cls(0)
+
+
+class TestStreamingPearson:
+    def test_matches_batch_corrcoef(self, rng):
+        x = rng.integers(0, 9, size=(300, 4)).astype(float)
+        y = rng.integers(-40, 40, size=(300, 7)).astype(float)
+        acc = StreamingPearson(4, 7)
+        for sl in iter_chunk_slices(300, 41):
+            acc.update(x[sl], y[sl])
+        np.testing.assert_allclose(acc.finalize(), batch_pearson(x, y), atol=1e-12)
+
+    def test_bit_identical_across_chunkings(self, rng):
+        x = rng.integers(0, 9, size=(256, 3)).astype(float)
+        y = rng.integers(-40, 40, size=(256, 5)).astype(float)
+        reference = StreamingPearson(3, 5).update(x, y).finalize()
+        for chunk in (1, 7, 64, 255):
+            acc = StreamingPearson(3, 5)
+            for sl in iter_chunk_slices(256, chunk):
+                acc.update(x[sl], y[sl])
+            np.testing.assert_array_equal(acc.finalize(), reference)
+
+    def test_bit_identical_across_merge_orders(self, rng):
+        x = rng.integers(0, 9, size=(120, 2)).astype(float)
+        y = rng.integers(-40, 40, size=(120, 4)).astype(float)
+        parts = [
+            StreamingPearson(2, 4).update(x[sl], y[sl])
+            for sl in iter_chunk_slices(120, 30)
+        ]
+        reference = StreamingPearson(2, 4).update(x, y).finalize()
+        forward = StreamingPearson(2, 4)
+        for p in parts:
+            forward.merge(p)
+        backward = StreamingPearson(2, 4)
+        for p in reversed(parts):
+            backward.merge(p)
+        np.testing.assert_array_equal(forward.finalize(), reference)
+        np.testing.assert_array_equal(backward.finalize(), reference)
+
+    def test_constant_columns_correlate_to_zero(self, rng):
+        x = np.ones((50, 2))
+        y = rng.normal(size=(50, 3))
+        rho = StreamingPearson(2, 3).update(x, y).finalize()
+        np.testing.assert_array_equal(rho, np.zeros((2, 3)))
+
+    def test_row_mismatch_rejected(self):
+        with pytest.raises(AttackError, match="rows"):
+            StreamingPearson(2, 3).update(np.ones((4, 2)), np.ones((5, 3)))
+
+    def test_needs_two_rows(self):
+        acc = StreamingPearson(2, 3).update(np.ones((1, 2)), np.ones((1, 3)))
+        with pytest.raises(AttackError):
+            acc.finalize()
+
+
+class TestStreamingWelchT:
+    def test_matches_batch_tvla(self, rng):
+        fixed = rng.integers(0, 64, size=(400, 9)).astype(float)
+        rand = rng.integers(0, 64, size=(380, 9)).astype(float)
+        acc = StreamingWelchT(9)
+        for sl in iter_chunk_slices(400, 57):
+            acc.update_fixed(fixed[sl])
+        for sl in iter_chunk_slices(380, 91):
+            acc.update_random(rand[sl])
+        np.testing.assert_array_equal(
+            acc.finalize(), fixed_vs_random_t(fixed, rand).t_statistics
+        )
+
+    def test_merge_partial_assessments(self, rng):
+        fixed = rng.normal(size=(100, 5))
+        rand = rng.normal(0.5, 1.0, size=(100, 5))
+        a = StreamingWelchT(5).update_fixed(fixed[:50]).update_random(rand[:30])
+        b = StreamingWelchT(5).update_fixed(fixed[50:]).update_random(rand[30:])
+        merged = a.merge(b).finalize()
+        np.testing.assert_allclose(
+            merged, fixed_vs_random_t(fixed, rand).t_statistics, atol=1e-10
+        )
+
+    def test_label_validation(self):
+        with pytest.raises(AttackError, match="label"):
+            StreamingWelchT(3).update(np.ones((2, 3)), 2)
+
+    def test_needs_two_per_class(self):
+        acc = StreamingWelchT(3).update_fixed(np.ones((5, 3)))
+        with pytest.raises(AttackError):
+            acc.finalize()
+
+    def test_zero_variance_gives_zero_t(self):
+        acc = StreamingWelchT(2)
+        acc.update_fixed(np.ones((10, 2))).update_random(np.ones((10, 2)))
+        np.testing.assert_array_equal(acc.finalize(), np.zeros(2))
+
+
+class TestStreamingTvla:
+    def test_chunked_equals_batch(self, rng):
+        fixed = rng.integers(0, 48, size=(300, 6)).astype(np.int16)
+        rand = rng.integers(0, 48, size=(300, 6)).astype(np.int16)
+        batch = fixed_vs_random_t(fixed, rand)
+        acc = StreamingTvla(6)
+        for sl in iter_chunk_slices(300, 77):
+            acc.update_fixed(fixed[sl])
+            acc.update_random(rand[sl])
+        streamed = acc.finalize()
+        np.testing.assert_array_equal(streamed.t_statistics, batch.t_statistics)
+        assert streamed.leaks == batch.leaks
+
+    def test_counts_exposed(self):
+        acc = StreamingTvla(3).update_fixed(np.ones((4, 3)))
+        assert (acc.n_fixed, acc.n_random, acc.n_samples) == (4, 0, 3)
+
+
+class TestStreamingDiffMeans:
+    def test_matches_batch_partition(self, rng):
+        bits = rng.integers(0, 2, size=(200, 5))
+        y = rng.integers(-30, 30, size=(200, 8)).astype(float)
+        acc = StreamingDiffMeans(5, 8)
+        for sl in iter_chunk_slices(200, 37):
+            acc.update(bits[sl], y[sl])
+        diff = acc.finalize()
+        for j in range(5):
+            ones = y[bits[:, j] == 1].mean(axis=0)
+            zeros = y[bits[:, j] == 0].mean(axis=0)
+            np.testing.assert_allclose(diff[j], ones - zeros, atol=1e-12)
+
+    def test_empty_partition_counts_as_zero_mean(self, rng):
+        bits = np.ones((20, 1), dtype=int)
+        y = rng.normal(size=(20, 3))
+        diff = StreamingDiffMeans(1, 3).update(bits, y).finalize()
+        np.testing.assert_allclose(diff[0], y.mean(axis=0))
+
+    def test_merge_matches_single_pass(self, rng):
+        bits = rng.integers(0, 2, size=(150, 3))
+        y = rng.integers(0, 50, size=(150, 4)).astype(float)
+        whole = StreamingDiffMeans(3, 4).update(bits, y)
+        a = StreamingDiffMeans(3, 4).update(bits[:60], y[:60])
+        b = StreamingDiffMeans(3, 4).update(bits[60:], y[60:])
+        np.testing.assert_array_equal(a.merge(b).finalize(), whole.finalize())
+
+    def test_bits_shape_validated(self):
+        with pytest.raises(AttackError, match="bits"):
+            StreamingDiffMeans(2, 3).update(np.ones((4, 3)), np.ones((4, 3)))

@@ -1,0 +1,223 @@
+"""Property-based tests (hypothesis) for the streaming accumulators.
+
+The contract under test (see :mod:`repro.analysis.streaming`):
+
+* streamed statistics match the batch NumPy computation to 1e-10 on
+  arbitrary float matrices, for arbitrary chunk splits;
+* on integer-valued inputs (the acquisition regime: int16 readouts,
+  0..8 Hamming-weight hypotheses) results are **bit-identical** across
+  chunkings and merge orders;
+* Welford's variance is non-negative for any input.
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analysis.streaming import (
+    StreamingPearson,
+    StreamingWelchT,
+    SumMoments,
+    WelfordMoments,
+)
+from repro.analysis.tvla import fixed_vs_random_t
+
+floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+@st.composite
+def float_matrix(draw, max_rows=64, max_cols=8, min_rows=2):
+    rows = draw(st.integers(min_rows, max_rows))
+    cols = draw(st.integers(1, max_cols))
+    return draw(hnp.arrays(np.float64, (rows, cols), elements=floats))
+
+
+@st.composite
+def conditioned_matrix(draw, max_rows=64, max_cols=6, min_rows=3):
+    """A float matrix normalized to zero mean / unit std per column —
+    the "well-scaled data" regime of the 1e-10 agreement contract
+    (near-constant columns at large offsets are Welford's job and are
+    stressed separately)."""
+    mat = draw(float_matrix(max_rows=max_rows, max_cols=max_cols, min_rows=min_rows))
+    std = mat.std(axis=0)
+    assume(np.all(std > 1e-6 * (1.0 + np.abs(mat).max())))
+    return (mat - mat.mean(axis=0)) / std
+
+
+@st.composite
+def int_xy(draw, max_rows=64):
+    """An integer hypothesis/trace pair in the acquisition regime."""
+    rows = draw(st.integers(2, max_rows))
+    k = draw(st.integers(1, 4))
+    w = draw(st.integers(1, 6))
+    x = draw(
+        hnp.arrays(np.int64, (rows, k), elements=st.integers(0, 8))
+    )
+    y = draw(
+        hnp.arrays(np.int16, (rows, w), elements=st.integers(-2048, 2047))
+    )
+    return x, y
+
+
+@st.composite
+def split_points(draw, n):
+    """A sorted list of cut positions partitioning ``range(n)``."""
+    n_cuts = draw(st.integers(0, min(6, n - 1)))
+    cuts = draw(
+        st.lists(
+            st.integers(1, n - 1), min_size=n_cuts, max_size=n_cuts, unique=True
+        )
+    )
+    return sorted(cuts)
+
+
+def chunks_of(data, cuts):
+    bounds = [0] + list(cuts) + [data.shape[0]]
+    return [
+        data[lo:hi] for lo, hi in zip(bounds, bounds[1:]) if hi > lo
+    ]
+
+
+class TestStreamedMatchesBatch:
+    @given(st.data())
+    @settings(max_examples=60)
+    def test_moments_match_numpy_for_floats(self, data):
+        mat = data.draw(float_matrix())
+        cuts = data.draw(split_points(mat.shape[0]))
+        peak = float(np.abs(mat).max())
+        # Raw-sums accuracy is bounded by eps * n * peak^2 (variance)
+        # and eps * n * peak (mean); scale the tolerances accordingly.
+        mean_atol = 1e-13 * mat.shape[0] * (1.0 + peak)
+        var_atol = 1e-12 * (1.0 + peak**2)
+        for cls in (SumMoments, WelfordMoments):
+            acc = cls(mat.shape[1])
+            for chunk in chunks_of(mat, cuts):
+                acc.update(chunk)
+            n, mean, var = acc.finalize()
+            assert n == mat.shape[0]
+            np.testing.assert_allclose(
+                mean, mat.mean(axis=0), rtol=1e-10, atol=mean_atol
+            )
+            np.testing.assert_allclose(
+                var, mat.var(axis=0, ddof=1), rtol=1e-6, atol=var_atol
+            )
+
+    @given(st.data())
+    @settings(max_examples=40)
+    def test_pearson_matches_corrcoef_for_floats(self, data):
+        xy = data.draw(conditioned_matrix(min_rows=3, max_cols=6))
+        k = data.draw(st.integers(1, xy.shape[1]))
+        x, y = xy[:, :k], xy[:, k - 1 :]
+        cuts = data.draw(split_points(x.shape[0]))
+        acc = StreamingPearson(x.shape[1], y.shape[1])
+        for cx, cy in zip(chunks_of(x, cuts), chunks_of(y, cuts)):
+            acc.update(cx, cy)
+        full = np.corrcoef(np.hstack([x, y]), rowvar=False)
+        expected = np.nan_to_num(
+            np.atleast_2d(full)[: x.shape[1], x.shape[1] :], nan=0.0
+        )
+        np.testing.assert_allclose(acc.finalize(), expected, atol=1e-10)
+
+    @given(st.data())
+    @settings(max_examples=40)
+    def test_welch_matches_batch_for_floats(self, data):
+        pool = data.draw(conditioned_matrix(min_rows=8, max_rows=64, max_cols=5))
+        n_fixed = data.draw(st.integers(2, pool.shape[0] - 2))
+        fixed, rand = pool[:n_fixed], pool[n_fixed:]
+        assume(np.all(fixed.std(axis=0) > 0.1))
+        assume(np.all(rand.std(axis=0) > 0.1))
+        cuts = data.draw(split_points(fixed.shape[0]))
+        acc = StreamingWelchT(fixed.shape[1])
+        for chunk in chunks_of(fixed, cuts):
+            acc.update_fixed(chunk)
+        acc.update_random(rand)
+        expected = fixed_vs_random_t(fixed, rand).t_statistics
+        np.testing.assert_allclose(acc.finalize(), expected, rtol=1e-6, atol=1e-10)
+
+
+class TestBitReproducibility:
+    @given(st.data())
+    @settings(max_examples=60)
+    def test_pearson_exact_across_chunkings(self, data):
+        x, y = data.draw(int_xy())
+        reference = (
+            StreamingPearson(x.shape[1], y.shape[1]).update(x, y).finalize()
+        )
+        cuts = data.draw(split_points(x.shape[0]))
+        acc = StreamingPearson(x.shape[1], y.shape[1])
+        for cx, cy in zip(chunks_of(x, cuts), chunks_of(y, cuts)):
+            acc.update(cx, cy)
+        np.testing.assert_array_equal(acc.finalize(), reference)
+
+    @given(st.data())
+    @settings(max_examples=60)
+    def test_pearson_exact_across_merge_orders(self, data):
+        x, y = data.draw(int_xy())
+        reference = (
+            StreamingPearson(x.shape[1], y.shape[1]).update(x, y).finalize()
+        )
+        cuts = data.draw(split_points(x.shape[0]))
+        parts = [
+            StreamingPearson(x.shape[1], y.shape[1]).update(cx, cy)
+            for cx, cy in zip(chunks_of(x, cuts), chunks_of(y, cuts))
+        ]
+        order = data.draw(st.permutations(range(len(parts))))
+        acc = StreamingPearson(x.shape[1], y.shape[1])
+        for i in order:
+            acc.merge(parts[i])
+        np.testing.assert_array_equal(acc.finalize(), reference)
+
+    @given(st.data())
+    @settings(max_examples=60)
+    def test_sum_moments_exact_across_merge_orders(self, data):
+        _, y = data.draw(int_xy())
+        reference = SumMoments(y.shape[1]).update(y).finalize()
+        cuts = data.draw(split_points(y.shape[0]))
+        parts = [SumMoments(y.shape[1]).update(c) for c in chunks_of(y, cuts)]
+        order = data.draw(st.permutations(range(len(parts))))
+        acc = SumMoments(y.shape[1])
+        for i in order:
+            acc.merge(parts[i])
+        n, mean, var = acc.finalize()
+        assert n == reference[0]
+        np.testing.assert_array_equal(mean, reference[1])
+        np.testing.assert_array_equal(var, reference[2])
+
+
+class TestWelfordStability:
+    @given(st.data())
+    @settings(max_examples=80)
+    def test_variance_never_negative(self, data):
+        mat = data.draw(float_matrix())
+        # Inflict a large common offset: the regime where naive
+        # sum-of-squares goes negative.
+        offset = data.draw(st.floats(-1e12, 1e12, allow_nan=False))
+        mat = mat + offset
+        cuts = data.draw(split_points(mat.shape[0]))
+        acc = WelfordMoments(mat.shape[1])
+        for chunk in chunks_of(mat, cuts):
+            acc.update(chunk)
+        assert np.all(acc.variance(ddof=1) >= 0.0)
+        assert np.all(acc.variance(ddof=0) >= 0.0)
+
+    @given(st.data())
+    @settings(max_examples=40)
+    def test_merge_variance_never_negative(self, data):
+        a = data.draw(float_matrix())
+        b = data.draw(
+            hnp.arrays(
+                np.float64,
+                (data.draw(st.integers(2, 64)), a.shape[1]),
+                elements=floats,
+            )
+        )
+        acc = WelfordMoments(a.shape[1]).update(a)
+        acc.merge(WelfordMoments(a.shape[1]).update(b))
+        assert np.all(acc.variance() >= 0.0)
