@@ -27,7 +27,6 @@ from repro.config import DEFAULT_CONSTANTS, PhysicalConstants
 from repro.errors import ConfigurationError
 from repro.timing.sampling import ClockSpec
 from repro.victims.aes.core import AES128
-from repro.victims.aes.sbox import HW8
 
 
 class AESHardwareModel:
@@ -75,6 +74,8 @@ class AESHardwareModel:
         aes: AES128,
         plaintexts,
         previous_final: Optional[np.ndarray] = None,
+        *,
+        states: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Per-cycle round-register Hamming distances, ``(n, 11)``.
 
@@ -82,8 +83,19 @@ class AESHardwareModel:
         ``AddRoundKey(pt, k0)``); columns 1..10 are the round
         transitions.  ``previous_final`` defaults to the plaintexts
         themselves (the chained-plaintext protocol).
+
+        ``states`` accepts a precomputed :meth:`AES128.round_states`
+        array for the same plaintexts, so callers that also need the
+        ciphertexts (``states[:, -1]``) run the cipher once instead of
+        twice.
         """
-        states = aes.round_states(plaintexts)
+        if states is None:
+            states = aes.round_states(plaintexts)
+        elif states.ndim != 3 or states.shape[1:] != (AES128.CYCLES_PER_BLOCK, 16):
+            raise ConfigurationError(
+                f"states must be (n, {AES128.CYCLES_PER_BLOCK}, 16), "
+                f"got {states.shape}"
+            )
         n = states.shape[0]
         if previous_final is None:
             previous_final = states[:, 0] ^ aes.round_keys[0]  # = the plaintexts
@@ -93,9 +105,13 @@ class AESHardwareModel:
                 f"previous_final must be (n, 16), got {previous_final.shape}"
             )
         hd = np.empty((n, AES128.CYCLES_PER_BLOCK), dtype=np.int64)
-        hd[:, 0] = HW8[previous_final ^ states[:, 0]].sum(axis=1)
+        # Hardware popcount beats the HW8 byte-table gather; the values
+        # are identical integers either way.
+        hd[:, 0] = np.bitwise_count(previous_final ^ states[:, 0]).sum(
+            axis=1, dtype=np.int64
+        )
         flips = states[:, 1:] ^ states[:, :-1]
-        hd[:, 1:] = HW8[flips].sum(axis=2)
+        hd[:, 1:] = np.bitwise_count(flips).sum(axis=2, dtype=np.int64)
         return hd
 
     # ------------------------------------------------------------------
@@ -140,5 +156,6 @@ class AESHardwareModel:
         out = np.full((n, n_samples), c.aes_base_current, dtype=np.float64)
         start = lead_in_cycles * spc
         stop = min(n_samples, start + wave.shape[1])
-        out[:, start:stop] = wave[:, : stop - start]
+        if stop > start:  # trace may end inside the lead-in window
+            out[:, start:stop] = wave[:, : stop - start]
         return out
