@@ -27,7 +27,7 @@ from typing import Optional, Tuple, Union
 import numpy as np
 
 from repro.config import DEFAULT_CONSTANTS, PhysicalConstants, RngLike, make_rng
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SensorRangeError
 from repro.fpga.netlist import Netlist
 from repro.fpga.placement import Pblock, Placement, Placer
 
@@ -62,6 +62,32 @@ def resolve_sampling_method(method: Union[str, SamplingMethod]) -> SamplingMetho
 #: nominal supply.
 TABLE_SPAN = (0.80, 1.06)
 TABLE_POINTS = 2048
+
+
+def check_table_range(sensor: "VoltageSensor", voltages: np.ndarray, grid: np.ndarray) -> None:
+    """Reject droops below the moments table's floor.
+
+    ``numpy.interp`` silently clamps to the table edges.  On the *high*
+    edge that clamp is benign — the delay chain is fully settled and the
+    readout genuinely rails at its maximum — but below ``TABLE_SPAN[0] *
+    v_nominal`` the clamp would quietly flatten a deep droop into the
+    table edge, erasing exactly the signal the attack measures.  Raise
+    :class:`~repro.errors.SensorRangeError` instead so an out-of-model
+    operating point (an enormous power virus, a miscalibrated coupling
+    surrogate) is loud.
+    """
+    if voltages.size == 0:
+        return
+    lo = float(voltages.min())
+    if lo < grid[0]:
+        raise SensorRangeError(
+            f"sensor {sensor.name!r} saw a supply droop down to "
+            f"{lo:.4f} V, below the tabulated operating floor "
+            f"{grid[0]:.4f} V ({TABLE_SPAN[0]:.2f} x nominal); the "
+            "normal-approximation table would silently clamp it — "
+            "reduce the load, rescale the coupling, or sample with "
+            "method='exact'"
+        )
 
 
 class VoltageSensor(abc.ABC):
@@ -201,6 +227,7 @@ class VoltageSensor(abc.ABC):
             out = bits.sum(axis=1).astype(np.int64)
         else:
             grid, mu_t, sigma_t = self._moments_table()
+            check_table_range(self, flat, grid)
             mu = np.interp(flat, grid, mu_t)
             sigma = np.interp(flat, grid, sigma_t)
             draw = rng.normal(mu, np.maximum(sigma, 1e-9))

@@ -41,6 +41,19 @@ class AcquisitionError(ReproError):
     """Trace acquisition failed (no trigger, shape mismatch, ...)."""
 
 
+class SensorRangeError(AcquisitionError):
+    """A supply voltage fell below the sensor's tabulated operating
+    range.
+
+    The moment-matched ``"normal"`` sampling path interpolates a
+    precomputed voltage->moments table; droops below its floor used to
+    be silently clamped, flattening deep droops into the table edge.
+    Raising instead makes an out-of-model operating point (an enormous
+    power virus, a miscalibrated coupling surrogate) loud.  Excursions
+    above the table are still clamped: there the readout genuinely
+    saturates at its maximum."""
+
+
 class AttackError(ReproError):
     """A side-channel attack could not be carried out as requested."""
 

@@ -96,6 +96,10 @@ class CouplingModel:
     ) -> None:
         self.device = device
         self.constants = constants
+        # Per-dt low-pass coefficient cache: acquisition calls
+        # filter_currents once per chunk with the same sample period, so
+        # the (b, a, zi) design is computed once, not per chunk.
+        self._filter_designs: Dict[float, Tuple[List[float], List[float], np.ndarray]] = {}
         if supply_factors is None:
             supply_factors = REGION_SUPPLY_FACTORS.get(device.name, {})
         self.supply_factors = dict(supply_factors)
@@ -159,6 +163,23 @@ class CouplingModel:
             )
         return float(self.coupling_vector(sensor_pos, loads) @ currents)
 
+    def filter_design(self, dt: float) -> Tuple[List[float], List[float], np.ndarray]:
+        """The first-order low-pass design ``(b, a, zi)`` for a sample
+        period, cached per ``dt`` (the coefficients and the unit
+        steady-state ``lfilter_zi`` are pure functions of ``dt`` and the
+        PDN time constant, but recomputing them per chunk is measurable
+        at campaign scale)."""
+        dt = float(dt)
+        design = self._filter_designs.get(dt)
+        if design is None:
+            pole = float(np.exp(-dt / self.constants.pdn_tau))
+            b = [1.0 - pole]
+            den = [1.0, -pole]
+            zi = signal.lfilter_zi(b, den)
+            design = (b, den, zi)
+            self._filter_designs[dt] = design
+        return design
+
     def filter_currents(self, currents: np.ndarray, dt: float) -> np.ndarray:
         """First-order low-pass filter with the PDN time constant,
         applied along the last axis.
@@ -167,10 +188,7 @@ class CouplingModel:
         that constant inputs pass through unchanged.
         """
         currents = np.asarray(currents, dtype=float)
-        a = float(np.exp(-dt / self.constants.pdn_tau))
-        b = [1.0 - a]
-        den = [1.0, -a]
-        zi = signal.lfilter_zi(b, den)
+        b, den, zi = self.filter_design(dt)
         x0 = currents[..., :1]
         filtered, _ = signal.lfilter(
             b, den, currents, axis=-1, zi=zi * x0
