@@ -76,6 +76,18 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: whole shard segments; any value is bit-identical)"
         ),
     )
+    from repro.kernels import available_kernels, default_kernel_name
+
+    parser.add_argument(
+        "--kernel",
+        choices=available_kernels(),
+        default=None,
+        help=(
+            "acquisition kernel for trace generation "
+            f"(default: {default_kernel_name()}; 'reference' is the "
+            "unfused oracle path)"
+        ),
+    )
     return parser
 
 
@@ -120,7 +132,12 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     from repro.errors import ReproError
     from repro.experiments import registry
+    from repro.kernels import set_default_kernel
 
+    if args.kernel is not None:
+        # Experiments build their own acquisition harnesses; steering
+        # the process default is how the flag reaches all of them.
+        set_default_kernel(args.kernel)
     known = registry.names()
     try:
         if args.experiment == "list":

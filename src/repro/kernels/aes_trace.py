@@ -1,0 +1,426 @@
+"""Acquisition kernels: the trace-generation hot path, swappable.
+
+Two implementations of the same model pipeline (AES round states ->
+switching currents -> PDN low-pass -> sensor sampling):
+
+* :class:`ReferenceAcquisitionKernel` (``"reference"``) — the literal
+  pipeline: dense per-sample current matrix, sequential
+  ``scipy.signal.lfilter`` recurrence, ``numpy.interp`` moments lookup.
+  Kept as the differential-testing oracle.
+* :class:`FusedAcquisitionKernel` (``"fused"``, the default) — the
+  algebraically fused rewrite:
+
+  - the PDN droop is a single BLAS matmul against the precomputed
+    step-response basis (:mod:`repro.kernels.basis`) instead of
+    filtering an ``(m, n_samples)`` matrix — the dense current matrix
+    is never materialized;
+  - the moments-table lookup exploits the table's *uniform* grid: one
+    shared index/fraction computation replaces two binary-searching
+    ``numpy.interp`` passes;
+  - the readout draw is one ``standard_normal`` fill plus two fused
+    in-place passes (bit-identical to ``Generator.normal(mu, sigma)``,
+    which computes ``loc + scale * z`` elementwise).
+
+Both kernels consume the *identical* RNG stream (same draws, same
+order), so for a fixed seed they differ only by floating-point
+summation order — a few ULPs of voltage, which virtually never moves a
+rounded integer readout.  Determinism across worker counts and chunk
+sizes is inherited unchanged: a kernel is a pure function of (block,
+rng), and the engine's shard plan fixes both.
+
+Kernels are stateless apart from caches; instances are shared via
+:func:`get_kernel` and travel to worker processes with the pickled
+acquisition harness (caches are dropped on pickle and rebuilt once per
+worker).
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import weakref
+from typing import ClassVar, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.sensor import SamplingMethod, check_table_range
+from repro.errors import ConfigurationError
+from repro.kernels.basis import step_response_basis
+from repro.kernels.profile import StageProfile
+from repro.victims.aes.core import AES128
+
+#: Lead-in cycles the acquisition path uses (pre-trigger margin).  The
+#: fused droop decomposition needs at least one: it is what pins the
+#: filter's initial steady state to the base current.
+LEAD_IN_CYCLES = 1
+
+#: Floor applied to the interpolated readout sigma (matches the
+#: reference ``sample_readouts`` floor).
+SIGMA_FLOOR = 1e-9
+
+#: Elements per tile in the fused sensor stage.  The stage is ~15
+#: elementwise passes; run whole-array they stream ~190 MB through DRAM
+#: per 4096-trace block, tiled at 64k elements (512 kB) the working set
+#: stays cache-resident and each array crosses DRAM once.  Tiling is
+#: value-exact: every op is elementwise, so the tile split does not
+#: change a single float.
+SENSOR_TILE = 1 << 16
+
+
+class AcquisitionKernel(abc.ABC):
+    """One implementation of the AES-trace acquisition block."""
+
+    #: Registry name of the kernel.
+    name: ClassVar[str] = ""
+
+    @abc.abstractmethod
+    def acquire(
+        self,
+        acquisition,
+        aes: AES128,
+        plaintexts: np.ndarray,
+        rng: np.random.Generator,
+        n_samples: int,
+        profile: Optional[StageProfile] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Run one vectorized block.
+
+        ``acquisition`` is the :class:`repro.traces.acquisition.
+        AESTraceAcquisition` harness (duck-typed here to keep the
+        dependency one-directional).  Returns ``(readouts, ciphertexts)``
+        with shapes ``(m, n_samples)`` int16 and ``(m, 16)`` uint8.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def _aes_stage(hw_model, aes: AES128, plaintexts, profile, acct):
+    """Shared single-pass AES stage: round states once, HDs and
+    ciphertexts derived from the same array."""
+    states = aes.round_states(plaintexts)
+    hd = hw_model.cycle_hamming_distances(aes, plaintexts, states=states)
+    cts = states[:, -1].copy()
+    acct.account(states, hd, cts)
+    return hd, cts
+
+
+class ReferenceAcquisitionKernel(AcquisitionKernel):
+    """The unfused pipeline, kept as the differential-testing oracle."""
+
+    name: ClassVar[str] = "reference"
+
+    def acquire(
+        self,
+        acquisition,
+        aes: AES128,
+        plaintexts: np.ndarray,
+        rng: np.random.Generator,
+        n_samples: int,
+        profile: Optional[StageProfile] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        profile = profile if profile is not None else StageProfile()
+        m = plaintexts.shape[0]
+        sensor = acquisition.sensor
+        sensor_pos = sensor.require_position()
+        kappa = acquisition.coupling.kappa(sensor_pos, acquisition.aes_position)
+        dt = acquisition.hw_model.sensor_clock.period
+
+        with profile.stage("aes", items=m) as acct:
+            hd, cts = _aes_stage(acquisition.hw_model, aes, plaintexts, profile, acct)
+        with profile.stage("pdn", items=m) as acct:
+            currents = acquisition.hw_model.current_waveform(hd, n_samples=n_samples)
+            droop = kappa * acquisition.coupling.filter_currents(currents, dt)
+            acct.account(currents, droop)
+        with profile.stage("sensor", items=m) as acct:
+            volts = sensor.constants.v_nominal - droop
+            volts += acquisition.noise.sample(m * n_samples, rng).reshape(m, n_samples)
+            readouts = sensor.sample_readouts(
+                volts, rng=rng, method=SamplingMethod.NORMAL
+            ).astype(np.int16)
+            acct.account(volts, readouts)
+        return readouts, cts
+
+
+class _TableInterpolant:
+    """Uniform-grid view of a sensor's voltage->moments table.
+
+    Precomputes per-cell slopes so the fused kernel evaluates both the
+    mean and sigma tables from one shared index/fraction pass.
+    """
+
+    __slots__ = ("table", "lo", "inv_step", "last_cell", "mu", "dmu", "sigma", "dsigma")
+
+    def __init__(self, table: Tuple[np.ndarray, np.ndarray, np.ndarray]) -> None:
+        grid, mu_t, sigma_t = table
+        self.table = table
+        self.lo = float(grid[0])
+        self.inv_step = (len(grid) - 1) / float(grid[-1] - grid[0])
+        self.last_cell = len(grid) - 2
+        self.mu = mu_t
+        self.dmu = np.diff(mu_t)
+        self.sigma = sigma_t
+        self.dsigma = np.diff(sigma_t)
+
+
+#: Per-process interpolant cache, keyed by sensor instance.  Entries are
+#: invalidated by identity of the sensor's cached table tuple, so
+#: ``invalidate_table()`` (tap changes) naturally refreshes them.
+_TABLE_INTERPOLANTS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _table_interpolant(sensor) -> _TableInterpolant:
+    table = sensor._moments_table()
+    interp = _TABLE_INTERPOLANTS.get(sensor)
+    if interp is None or interp.table is not table:
+        interp = _TableInterpolant(table)
+        _TABLE_INTERPOLANTS[sensor] = interp
+    return interp
+
+
+class FusedAcquisitionKernel(AcquisitionKernel):
+    """Fused LTI acquisition kernel (the default).
+
+    See the module docstring for the algebra.  Per-configuration
+    weights — the sign-folded, gain-scaled basis and the nominal-voltage
+    offset — are cached on the instance and rebuilt lazily after
+    pickling (worker processes pay the tiny basis build once).
+    """
+
+    name: ClassVar[str] = "fused"
+
+    def __init__(self) -> None:
+        self._weights: Dict[tuple, Tuple[np.ndarray, float]] = {}
+        self._scratch_size = -1
+        self._scratch: Dict[str, np.ndarray] = {}
+
+    # -- pickling: caches are per-process ------------------------------
+    def __getstate__(self) -> dict:
+        return {}
+
+    def __setstate__(self, state: dict) -> None:
+        self._weights = {}
+        self._scratch_size = -1
+        self._scratch = {}
+
+    def _workspace(self, size: int) -> Dict[str, np.ndarray]:
+        """Per-process scratch arrays for one flattened block.
+
+        The big temporaries of the sensor stage (~6 MB each at the
+        default block shape) are reused across blocks, so the steady
+        state allocates nothing but the returned readouts.  Not
+        thread-safe — the engine parallelizes across processes.
+        """
+        if self._scratch_size != size:
+            tile = min(size, SENSOR_TILE)
+            self._scratch = {
+                "volts": np.empty(size),
+                "noise": np.empty(size),
+                "draw": np.empty(size),
+                "pos": np.empty(tile),
+                "idx": np.empty(tile, dtype=np.intp),
+            }
+            self._scratch_size = size
+        return self._scratch
+
+    # ------------------------------------------------------------------
+    def _droop_weights(
+        self, acquisition, kappa: float, n_samples: int
+    ) -> Tuple[np.ndarray, float]:
+        """``(weights, offset)`` such that ``volts = offset + hd @ weights``
+        (before noise): ``weights = -(kappa * per_bit) * B`` and
+        ``offset = v_nominal - kappa * base``."""
+        hw = acquisition.hw_model
+        spc = hw.samples_per_cycle
+        dt = hw.sensor_clock.period
+        pole = float(np.exp(-dt / acquisition.coupling.constants.pdn_tau))
+        per_bit = hw.constants.aes_current_per_bit
+        base = hw.constants.aes_base_current
+        v_nominal = acquisition.sensor.constants.v_nominal
+        key = (spc, n_samples, pole, kappa, per_bit, base, v_nominal)
+        cached = self._weights.get(key)
+        if cached is not None:
+            return cached
+        basis = step_response_basis(
+            AES128.CYCLES_PER_BLOCK, spc, n_samples, LEAD_IN_CYCLES, pole
+        )
+        weights = basis.scaled(-(kappa * per_bit))
+        offset = v_nominal - kappa * base
+        if len(self._weights) >= 64:
+            self._weights.clear()
+        self._weights[key] = (weights, offset)
+        return weights, offset
+
+    # ------------------------------------------------------------------
+    def acquire(
+        self,
+        acquisition,
+        aes: AES128,
+        plaintexts: np.ndarray,
+        rng: np.random.Generator,
+        n_samples: int,
+        profile: Optional[StageProfile] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        profile = profile if profile is not None else StageProfile()
+        m = plaintexts.shape[0]
+        sensor = acquisition.sensor
+        sensor_pos = sensor.require_position()
+        kappa = acquisition.coupling.kappa(sensor_pos, acquisition.aes_position)
+
+        with profile.stage("aes", items=m) as acct:
+            hd, cts = _aes_stage(acquisition.hw_model, aes, plaintexts, profile, acct)
+
+        with profile.stage("pdn", items=m) as acct:
+            weights, offset = self._droop_weights(acquisition, kappa, n_samples)
+            ws = self._workspace(m * n_samples)
+            # (m, 11) @ (11, n_samples): the filtered droop of the whole
+            # block in one BLAS call; the dense current matrix and the
+            # sequential recurrence are gone.
+            volts = ws["volts"].reshape(m, n_samples)
+            np.matmul(hd.astype(np.float64), weights, out=volts)
+            volts += offset
+            acct.account(volts)
+
+        with profile.stage("sensor", items=m) as acct:
+            self._add_noise(acquisition.noise, volts, rng, ws)
+            readouts = self._sample_normal(sensor, volts, rng, ws)
+            acct.account(readouts)
+        return readouts, cts
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _add_noise(noise, volts: np.ndarray, rng: np.random.Generator, ws) -> None:
+        """Add voltage noise in place, consuming the RNG exactly like
+        ``noise.sample(volts.size, rng)``.
+
+        The default campaign noise is white-only; that case is one
+        ``standard_normal`` fill of a reused buffer plus an in-place
+        scale/add (``Generator.normal(0, rms, n)`` computes ``rms * z``
+        elementwise, so the values are bit-identical).  Drift or burst
+        components fall back to the model's own sampler.
+        """
+        flat = volts.ravel()
+        if noise.drift_rms or noise.burst_rate:
+            flat += noise.sample(flat.size, rng)
+            return
+        if not noise.white_rms:
+            return
+        buf = ws["noise"]
+        rng.standard_normal(out=buf)
+        buf *= noise.white_rms
+        flat += buf
+
+    # ------------------------------------------------------------------
+    def _sample_normal(
+        self, sensor, volts: np.ndarray, rng: np.random.Generator, ws
+    ) -> np.ndarray:
+        """Moment-matched normal sampling, fused.
+
+        Semantically :meth:`VoltageSensor.sample_readouts` with
+        ``method="normal"`` — same moments table, same range guard, same
+        RNG consumption — but the two ``numpy.interp`` binary searches
+        are replaced by one shared uniform-grid index computation, and
+        the parameterized normal draw by a single ``standard_normal``
+        fill plus in-place scale/shift.
+        """
+        flat = volts.ravel()
+        interp = _table_interpolant(sensor)
+        check_table_range(sensor, flat, interp.table[0])
+
+        # One RNG fill for the whole block, up front: the reference
+        # draws all its readout gaussians in one call, and a sequential
+        # fill is the same stream.
+        full_draw = ws["draw"]
+        rng.standard_normal(out=full_draw)
+        out = np.empty(flat.size, dtype=np.int16)
+
+        for start in range(0, flat.size, SENSOR_TILE):
+            stop = min(start + SENSOR_TILE, flat.size)
+            n = stop - start
+            pos = np.subtract(flat[start:stop], interp.lo, out=ws["pos"][:n])
+            pos *= interp.inv_step
+            # The range guard proved pos >= 0, so the truncating cast
+            # is a floor, and only the table's top edge needs clamping
+            # (where numpy.interp saturates).
+            idx = ws["idx"][:n]
+            np.copyto(idx, pos, casting="unsafe")
+            np.minimum(idx, interp.last_cell, out=idx)
+            frac = pos
+            frac -= idx
+            np.minimum(frac, 1.0, out=frac)
+
+            mu = interp.dmu[idx]
+            mu *= frac
+            mu += interp.mu[idx]
+            sigma = interp.dsigma[idx]
+            sigma *= frac
+            sigma += interp.sigma[idx]
+            np.maximum(sigma, SIGMA_FLOOR, out=sigma)
+
+            draw = full_draw[start:stop]
+            draw *= sigma
+            draw += mu
+            np.rint(draw, out=draw)
+            np.clip(draw, 0, sensor.output_width, out=draw)
+            np.copyto(out[start:stop], draw, casting="unsafe")
+        return out.reshape(volts.shape)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+_KERNEL_TYPES: Dict[str, type] = {
+    FusedAcquisitionKernel.name: FusedAcquisitionKernel,
+    ReferenceAcquisitionKernel.name: ReferenceAcquisitionKernel,
+}
+_INSTANCES: Dict[str, AcquisitionKernel] = {}
+
+#: Process-wide default kernel name; overridable via the
+#: ``REPRO_KERNEL`` environment variable or :func:`set_default_kernel`
+#: (the CLI's ``--kernel`` flag).
+_DEFAULT_KERNEL = os.environ.get("REPRO_KERNEL", FusedAcquisitionKernel.name)
+
+
+def available_kernels() -> Tuple[str, ...]:
+    """Registered kernel names, sorted."""
+    return tuple(sorted(_KERNEL_TYPES))
+
+
+def default_kernel_name() -> str:
+    """The name new acquisition harnesses resolve ``kernel=None`` to."""
+    return _DEFAULT_KERNEL
+
+
+def set_default_kernel(name: str) -> str:
+    """Set the process-wide default kernel; returns the previous name."""
+    global _DEFAULT_KERNEL
+    if name not in _KERNEL_TYPES:
+        raise ConfigurationError(
+            f"unknown kernel {name!r}; available: {', '.join(available_kernels())}"
+        )
+    previous = _DEFAULT_KERNEL
+    _DEFAULT_KERNEL = name
+    return previous
+
+
+def get_kernel(kernel=None) -> AcquisitionKernel:
+    """Resolve a kernel argument to a (shared) kernel instance.
+
+    Accepts ``None`` (the process default), a registered name, or an
+    :class:`AcquisitionKernel` instance (returned unchanged).
+    """
+    if isinstance(kernel, AcquisitionKernel):
+        return kernel
+    if kernel is None:
+        kernel = _DEFAULT_KERNEL
+    try:
+        kernel_type = _KERNEL_TYPES[kernel]
+    except (KeyError, TypeError):
+        raise ConfigurationError(
+            f"unknown kernel {kernel!r}; available: {', '.join(available_kernels())}"
+        ) from None
+    instance = _INSTANCES.get(kernel)
+    if instance is None:
+        instance = _INSTANCES[kernel] = kernel_type()
+    return instance

@@ -1,0 +1,166 @@
+"""Stage-level profiling for the acquisition hot path.
+
+Campaign throughput questions ("where did the cores go", "is the PDN
+filter or the sensor model the ceiling") used to be answered by ad-hoc
+``timings`` dicts threaded through ``acquire_block``.  This module
+replaces them with a small structured accumulator:
+
+* :class:`StageStats` — wall seconds, bytes of arrays produced, items
+  processed and call count for one pipeline stage;
+* :class:`StageProfile` — an ordered collection of stages with a
+  context-manager recording API, mergeable across shards.
+
+Byte accounting is deliberately *deterministic*: a stage reports the
+``nbytes`` of the arrays it materializes (via :meth:`StageAccount.
+account`), not allocator telemetry, so profiles are reproducible and
+cost nothing to collect.
+
+Usage::
+
+    profile = StageProfile()
+    with profile.stage("pdn", items=m) as acct:
+        droop = per_cycle @ basis
+        acct.account(droop)
+    print(profile.summary())
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class StageStats:
+    """Accumulated cost of one pipeline stage."""
+
+    seconds: float = 0.0
+    #: Bytes of result arrays materialized by the stage.
+    nbytes: int = 0
+    #: Items (traces/readouts) processed by the stage.
+    items: int = 0
+    calls: int = 0
+
+    @property
+    def items_per_second(self) -> float:
+        """Stage throughput (items/sec over the stage's own wall time)."""
+        return self.items / self.seconds if self.seconds > 0 else float("inf")
+
+    def merge(self, other: "StageStats") -> "StageStats":
+        """Fold another stage's totals into this one (in place)."""
+        self.seconds += other.seconds
+        self.nbytes += other.nbytes
+        self.items += other.items
+        self.calls += other.calls
+        return self
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat JSON-friendly view (used by benches and metrics)."""
+        return {
+            "seconds": self.seconds,
+            "nbytes": self.nbytes,
+            "items": self.items,
+            "calls": self.calls,
+            "items_per_second": (
+                self.items / self.seconds if self.seconds > 0 else 0.0
+            ),
+        }
+
+
+class StageAccount:
+    """Handle yielded by :meth:`StageProfile.stage` for byte accounting."""
+
+    __slots__ = ("nbytes",)
+
+    def __init__(self) -> None:
+        self.nbytes = 0
+
+    def account(self, *arrays) -> None:
+        """Record the ``nbytes`` of arrays materialized by the stage."""
+        for array in arrays:
+            self.nbytes += int(array.nbytes)
+
+
+class StageProfile:
+    """Ordered per-stage cost accumulator for one acquisition pipeline.
+
+    Stages appear in first-recorded order (the pipeline order), and two
+    profiles from different shards merge commutatively, so the engine
+    can sum worker-side profiles into campaign totals.
+    """
+
+    def __init__(self) -> None:
+        self.stages: Dict[str, StageStats] = {}
+
+    def _get(self, name: str) -> StageStats:
+        stats = self.stages.get(name)
+        if stats is None:
+            stats = self.stages[name] = StageStats()
+        return stats
+
+    @contextmanager
+    def stage(self, name: str, items: int = 0) -> Iterator[StageAccount]:
+        """Time a stage; the yielded handle records produced bytes."""
+        acct = StageAccount()
+        t0 = time.perf_counter()
+        try:
+            yield acct
+        finally:
+            seconds = time.perf_counter() - t0
+            self.add(name, seconds, nbytes=acct.nbytes, items=items)
+
+    def add(
+        self,
+        name: str,
+        seconds: float,
+        nbytes: int = 0,
+        items: int = 0,
+        calls: int = 1,
+    ) -> None:
+        """Accumulate one stage observation directly."""
+        stats = self._get(name)
+        stats.seconds += seconds
+        stats.nbytes += nbytes
+        stats.items += items
+        stats.calls += calls
+
+    def merge(self, other: "StageProfile") -> "StageProfile":
+        """Fold another profile's stages into this one (in place)."""
+        for name, stats in other.stages.items():
+            self._get(name).merge(stats)
+        return self
+
+    # -- views -----------------------------------------------------------
+    @property
+    def total_seconds(self) -> float:
+        """Summed wall seconds across stages."""
+        return sum(s.seconds for s in self.stages.values())
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """``{stage: seconds}`` (the historical ``timings`` dict shape)."""
+        return {name: stats.seconds for name, stats in self.stages.items()}
+
+    def stage_nbytes(self) -> Dict[str, int]:
+        """``{stage: bytes materialized}``."""
+        return {name: stats.nbytes for name, stats in self.stages.items()}
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Nested JSON-friendly view of every stage."""
+        return {name: stats.as_dict() for name, stats in self.stages.items()}
+
+    def summary(self) -> str:
+        """One human-readable line, pipeline order."""
+        parts = []
+        for name, stats in self.stages.items():
+            part = f"{name} {stats.seconds:.3f}s"
+            if stats.nbytes:
+                part += f"/{stats.nbytes / 1e6:.0f}MB"
+            if stats.items and stats.seconds > 0:
+                part += f" ({stats.items_per_second:,.0f}/s)"
+            parts.append(part)
+        return ", ".join(parts) if parts else "no stages recorded"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StageProfile({self.summary()})"

@@ -40,6 +40,7 @@ from repro.analysis.streaming import iter_chunk_slices, validate_chunk_size
 from repro.config import RngLike
 from repro.core.sensor import VoltageSensor
 from repro.errors import ConfigurationError
+from repro.kernels import StageProfile
 from repro.pdn.coupling import CouplingModel
 from repro.pdn.noise import NoiseModel
 from repro.runtime.metrics import EngineMetrics, ShardMetrics
@@ -96,10 +97,10 @@ def _run_collect_shard(
 ) -> ShardMetrics:
     t0 = time.perf_counter()
     rng = np.random.default_rng(seed_seq)
-    timings: Dict[str, float] = {}
+    profile = StageProfile()
     shard_pts = rng.integers(0, 256, size=(shard.size, 16), dtype=np.uint8)
     readouts, shard_cts = acq.acquire_block(
-        aes, shard_pts, rng, n_samples, timings=timings
+        aes, shard_pts, rng, n_samples, profile=profile
     )
     traces[shard.slice] = readouts
     pts[shard.slice] = shard_pts
@@ -108,7 +109,8 @@ def _run_collect_shard(
         shard_index=shard.index,
         n_items=shard.size,
         seconds=time.perf_counter() - t0,
-        stage_seconds=timings,
+        stage_seconds=profile.stage_seconds(),
+        stage_nbytes=profile.stage_nbytes(),
     )
 
 
@@ -135,10 +137,10 @@ def _run_stream_shard(
     """
     t0 = time.perf_counter()
     rng = np.random.default_rng(seed_seq)
-    timings: Dict[str, float] = {}
+    profile = StageProfile()
     shard_pts = rng.integers(0, 256, size=(shard.size, 16), dtype=np.uint8)
     readouts, shard_cts = acq.acquire_block(
-        aes, shard_pts, rng, n_samples, timings=timings
+        aes, shard_pts, rng, n_samples, profile=profile
     )
     cuts = [b - shard.start for b in boundaries if shard.start < b < shard.stop]
     edges = [0, *cuts, shard.size]
@@ -155,7 +157,8 @@ def _run_stream_shard(
         shard_index=shard.index,
         n_items=shard.size,
         seconds=time.perf_counter() - t0,
-        stage_seconds=timings,
+        stage_seconds=profile.stage_seconds(),
+        stage_nbytes=profile.stage_nbytes(),
     )
     return metrics, segments
 
@@ -170,15 +173,16 @@ def _run_characterize_shard(
 ) -> ShardMetrics:
     t0 = time.perf_counter()
     rng = np.random.default_rng(seed_seq)
-    timings: Dict[str, float] = {}
+    profile = StageProfile()
     out[shard.slice] = characterize_block(
-        sensor, droop, noise, shard.size, rng, timings=timings
+        sensor, droop, noise, shard.size, rng, profile=profile
     )
     return ShardMetrics(
         shard_index=shard.index,
         n_items=shard.size,
         seconds=time.perf_counter() - t0,
-        stage_seconds=timings,
+        stage_seconds=profile.stage_seconds(),
+        stage_nbytes=profile.stage_nbytes(),
     )
 
 
@@ -351,7 +355,12 @@ class Engine:
     # ------------------------------------------------------------------
     def _emit(self, kind: str, done: int, total: int, shard: ShardMetrics) -> None:
         if self.progress is not None:
-            self.progress(ProgressEvent(kind=kind, done=done, total=total, shard=shard))
+            detail = shard.summary() if shard is not None else ""
+            self.progress(
+                ProgressEvent(
+                    kind=kind, done=done, total=total, shard=shard, detail=detail
+                )
+            )
 
     def _drive(
         self,

@@ -1,12 +1,14 @@
 """Per-shard and aggregate timing/throughput metrics.
 
 Every shard reports its wall time plus a stage split (sensor sampling
-vs. AES vs. PDN filtering), so a campaign's bottleneck is visible
-without profiling: ``EngineMetrics.stage_totals()`` answers "where did
-the cores go".  Shard seconds are measured inside the worker; the
-aggregate wall clock is measured by the engine around the whole run,
-so ``sum(shard seconds) / wall_seconds`` approximates the achieved
-parallelism.
+vs. AES vs. PDN filtering) recorded by the kernel layer's
+:class:`repro.kernels.StageProfile`, so a campaign's bottleneck is
+visible without profiling: ``EngineMetrics.stage_totals()`` answers
+"where did the cores go" and ``stage_nbytes_totals()`` answers "where
+did the memory bandwidth go".  Shard seconds are measured inside the
+worker; the aggregate wall clock is measured by the engine around the
+whole run, so ``sum(shard seconds) / wall_seconds`` approximates the
+achieved parallelism.
 """
 
 from __future__ import annotations
@@ -24,11 +26,29 @@ class ShardMetrics:
     seconds: float
     #: Wall seconds per pipeline stage ("aes", "pdn", "sensor").
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Bytes of result arrays materialized per stage (deterministic
+    #: byte accounting from :class:`repro.kernels.StageProfile`).
+    stage_nbytes: Dict[str, int] = field(default_factory=dict)
 
     @property
     def items_per_second(self) -> float:
         """Shard throughput (traces/sec or readouts/sec)."""
         return self.n_items / self.seconds if self.seconds > 0 else float("inf")
+
+    def summary(self) -> str:
+        """One human-readable line (used as progress-event detail)."""
+        parts = []
+        for stage, seconds in self.stage_seconds.items():
+            part = f"{stage} {seconds:.3f}s"
+            nbytes = self.stage_nbytes.get(stage, 0)
+            if nbytes:
+                part += f"/{nbytes / 1e6:.0f}MB"
+            parts.append(part)
+        split = f" ({', '.join(parts)})" if parts else ""
+        return (
+            f"shard {self.shard_index}: {self.n_items} items in "
+            f"{self.seconds:.3f}s ({self.items_per_second:,.0f}/s){split}"
+        )
 
 
 @dataclass
@@ -64,6 +84,23 @@ class EngineMetrics:
             for stage, seconds in shard.stage_seconds.items():
                 totals[stage] = totals.get(stage, 0.0) + seconds
         return totals
+
+    def stage_nbytes_totals(self) -> Dict[str, int]:
+        """Summed per-stage bytes materialized across shards."""
+        totals: Dict[str, int] = {}
+        for shard in self.shards:
+            for stage, nbytes in shard.stage_nbytes.items():
+                totals[stage] = totals.get(stage, 0) + nbytes
+        return totals
+
+    def stage_items_per_second(self) -> Dict[str, float]:
+        """Per-stage throughput: campaign items over that stage's
+        summed worker seconds (i.e. the rate each stage alone would
+        sustain on one core)."""
+        return {
+            stage: (self.n_items / seconds if seconds > 0 else float("inf"))
+            for stage, seconds in self.stage_totals().items()
+        }
 
     def summary(self) -> str:
         """One human-readable line for logs and progress output."""

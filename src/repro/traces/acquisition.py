@@ -29,8 +29,7 @@ own plaintext, exactly as chaining would leave it).
 from __future__ import annotations
 
 import numbers
-import time
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -38,6 +37,7 @@ from repro.analysis.streaming import validate_chunk_size
 from repro.config import DEFAULT_CONSTANTS, PhysicalConstants, RngLike, make_rng
 from repro.core.sensor import SamplingMethod, VoltageSensor
 from repro.errors import AcquisitionError
+from repro.kernels import AcquisitionKernel, StageProfile, get_kernel
 from repro.pdn.coupling import CouplingModel, LoadSite
 from repro.pdn.noise import NoiseModel
 from repro.timing.sampling import ClockSpec
@@ -94,6 +94,11 @@ class AESTraceAcquisition:
     noise:
         Voltage noise model; defaults to white noise at the constants'
         RMS level.
+    kernel:
+        Which acquisition kernel runs :meth:`acquire_block`: ``None``
+        (the process default, normally ``"fused"``), a registered name
+        (``"fused"``, ``"reference"``) or an
+        :class:`~repro.kernels.AcquisitionKernel` instance.
     """
 
     def __init__(
@@ -103,11 +108,13 @@ class AESTraceAcquisition:
         hw_model: AESHardwareModel,
         aes_position: Tuple[float, float],
         noise: Optional[NoiseModel] = None,
+        kernel: Optional[Union[str, AcquisitionKernel]] = None,
     ) -> None:
         self.sensor = sensor
         self.coupling = coupling
         self.hw_model = hw_model
         self.aes_position = aes_position
+        self.kernel = get_kernel(kernel)
         constants = sensor.constants
         # White noise only by default: campaign-scale drift is a
         # separate, explicitly-opted-in effect (pass a NoiseModel with
@@ -129,41 +136,34 @@ class AESTraceAcquisition:
         rng: np.random.Generator,
         n_samples: int,
         timings: Optional[Dict[str, float]] = None,
+        profile: Optional[StageProfile] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """One fully vectorized acquisition block.
 
         Runs the model pipeline (AES round states -> switching currents
         -> PDN filter -> sensor sampling) for a batch of plaintexts,
-        drawing noise and sampling randomness from ``rng``.  When
-        ``timings`` is given, the per-stage wall seconds are accumulated
-        into its ``"aes"``, ``"pdn"`` and ``"sensor"`` keys.
+        drawing noise and sampling randomness from ``rng``.  The work is
+        delegated to the harness's :attr:`kernel` (fused by default; the
+        reference path is available as ``kernel="reference"``).
+
+        Per-stage costs accumulate into ``profile`` when given; the
+        legacy ``timings`` dict still receives this call's ``"aes"``,
+        ``"pdn"`` and ``"sensor"`` wall seconds.
 
         Returns ``(readouts, ciphertexts)`` with shapes
         ``(m, n_samples)`` int16 and ``(m, 16)`` uint8.
         """
-        m = plaintexts.shape[0]
-        sensor_pos = self.sensor.require_position()
-        kappa = self.coupling.kappa(sensor_pos, self.aes_position)
-        dt = self.hw_model.sensor_clock.period
-
-        t0 = time.perf_counter()
-        hd = self.hw_model.cycle_hamming_distances(aes, plaintexts)
-        cts = aes.encrypt_blocks(plaintexts)
-        t1 = time.perf_counter()
-        currents = self.hw_model.current_waveform(hd, n_samples=n_samples)
-        droop = kappa * self.coupling.filter_currents(currents, dt)
-        t2 = time.perf_counter()
-        volts = self.sensor.constants.v_nominal - droop
-        volts += self.noise.sample(m * n_samples, rng).reshape(m, n_samples)
-        readouts = self.sensor.sample_readouts(
-            volts, rng=rng, method=SamplingMethod.NORMAL
+        if profile is None:
+            profile = StageProfile()
+        before = profile.stage_seconds() if timings is not None else None
+        readouts, cts = self.kernel.acquire(
+            self, aes, plaintexts, rng, n_samples, profile=profile
         )
-        t3 = time.perf_counter()
         if timings is not None:
-            timings["aes"] = timings.get("aes", 0.0) + (t1 - t0)
-            timings["pdn"] = timings.get("pdn", 0.0) + (t2 - t1)
-            timings["sensor"] = timings.get("sensor", 0.0) + (t3 - t2)
-        return readouts.astype(np.int16), cts
+            for name, seconds in profile.stage_seconds().items():
+                delta = seconds - before.get(name, 0.0)
+                timings[name] = timings.get(name, 0.0) + delta
+        return readouts, cts
 
     def trace_metadata(self, key) -> Dict[str, object]:
         """The acquisition-parameter metadata attached to trace sets."""
@@ -177,6 +177,7 @@ class AESTraceAcquisition:
             "aes_frequency_hz": self.hw_model.aes_clock.frequency,
             "sensor_frequency_hz": self.hw_model.sensor_clock.frequency,
             "samples_per_cycle": self.hw_model.samples_per_cycle,
+            "kernel": self.kernel.name,
         }
 
     def collect(
@@ -249,17 +250,23 @@ def characterize_block(
     n_readouts: int,
     rng: np.random.Generator,
     timings: Optional[Dict[str, float]] = None,
+    profile: Optional[StageProfile] = None,
 ) -> np.ndarray:
     """One vectorized characterization block: noisy voltages around a
     precomputed droop, sampled with the exact per-bit method."""
-    t0 = time.perf_counter()
-    volts = sensor.constants.v_nominal - droop + noise.sample(n_readouts, rng)
-    t1 = time.perf_counter()
-    readouts = sensor.sample_readouts(volts, rng=rng, method=SamplingMethod.EXACT)
-    t2 = time.perf_counter()
+    if profile is None:
+        profile = StageProfile()
+    before = profile.stage_seconds() if timings is not None else None
+    with profile.stage("pdn", items=n_readouts) as acct:
+        volts = sensor.constants.v_nominal - droop + noise.sample(n_readouts, rng)
+        acct.account(volts)
+    with profile.stage("sensor", items=n_readouts) as acct:
+        readouts = sensor.sample_readouts(volts, rng=rng, method=SamplingMethod.EXACT)
+        acct.account(readouts)
     if timings is not None:
-        timings["pdn"] = timings.get("pdn", 0.0) + (t1 - t0)
-        timings["sensor"] = timings.get("sensor", 0.0) + (t2 - t1)
+        for name, seconds in profile.stage_seconds().items():
+            delta = seconds - before.get(name, 0.0)
+            timings[name] = timings.get(name, 0.0) + delta
     return readouts
 
 
