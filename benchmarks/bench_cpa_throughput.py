@@ -2,21 +2,43 @@
 
 Not a paper figure — a performance benchmark of the numpy CPA engine
 that stands in for the paper's GPU CPA tool [8], useful for tracking
-regressions in the accumulator hot path.
+regressions in the accumulator hot path.  Records machine-readable
+numbers (traces/second for accumulation, correlation evaluations per
+second, peak RSS) in ``BENCH_cpa.json`` next to
+``BENCH_acquisition.json``.
 """
+
+import json
+import resource
+import sys
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.attacks.cpa import CPAAttack, hypothesis_table
+from conftest import full_scale, run_once
+
+N_TRACES, N_SAMPLES = 4000, 45
+N_ROUNDS = 10 if full_scale() else 6
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_cpa.json"
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS.
+    """
+    maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return maxrss if sys.platform == "darwin" else maxrss * 1024
 
 
 @pytest.fixture(scope="module")
 def trace_batch():
     rng = np.random.default_rng(0)
-    n, samples = 4000, 45
-    traces = rng.integers(0, 48, size=(n, samples)).astype(np.int16)
-    cts = rng.integers(0, 256, size=(n, 16), dtype=np.uint8)
+    traces = rng.integers(0, 48, size=(N_TRACES, N_SAMPLES)).astype(np.int16)
+    cts = rng.integers(0, 256, size=(N_TRACES, 16), dtype=np.uint8)
     hypothesis_table()  # build outside the timed region
     return traces, cts
 
@@ -42,3 +64,64 @@ def test_cpa_correlation_evaluation(benchmark, trace_batch):
     rho = benchmark(attack.correlations)
     assert rho.shape == (16, 256, traces.shape[1])
     assert np.all(np.abs(rho) <= 1.0 + 1e-9)
+
+
+def test_cpa_throughput_report(benchmark, trace_batch):
+    """Drive the accumulate and correlation paths directly (one
+    unmeasured warm-up plus ``N_ROUNDS`` measured rounds each) and
+    write ``BENCH_cpa.json``.
+
+    Throughput is reported from the per-round *minimum* — the least
+    load-sensitive estimator — alongside plain totals, matching
+    ``BENCH_acquisition.json``.
+    """
+    traces, cts = trace_batch
+
+    def accumulate():
+        attack = CPAAttack(traces.shape[1])
+        attack.add_traces(traces, cts)
+        return attack
+
+    def timed_rounds(fn):
+        fn()  # warm-up: hypothesis gathers, BLAS threads
+        seconds = []
+        for _ in range(N_ROUNDS):
+            t0 = time.perf_counter()
+            fn()
+            seconds.append(time.perf_counter() - t0)
+        return seconds
+
+    accumulate_seconds = timed_rounds(accumulate)
+    attack = accumulate()
+    correlate_seconds = timed_rounds(attack.correlations)
+
+    report = {
+        "config": {
+            "n_traces": N_TRACES,
+            "n_samples": N_SAMPLES,
+            "n_rounds": N_ROUNDS,
+        },
+        "accumulate": {
+            "seconds_per_round": sum(accumulate_seconds) / N_ROUNDS,
+            "best_seconds_per_round": min(accumulate_seconds),
+            "traces_per_second": N_ROUNDS * N_TRACES / sum(accumulate_seconds),
+            "best_traces_per_second": N_TRACES / min(accumulate_seconds),
+        },
+        "correlations": {
+            "seconds_per_eval": sum(correlate_seconds) / N_ROUNDS,
+            "best_seconds_per_eval": min(correlate_seconds),
+            "evals_per_second": N_ROUNDS / sum(correlate_seconds),
+        },
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+
+    run_once(benchmark, accumulate)
+    benchmark.extra_info["traces_per_s"] = round(
+        report["accumulate"]["traces_per_second"]
+    )
+    benchmark.extra_info["peak_rss_mb"] = round(
+        report["peak_rss_bytes"] / 1e6
+    )
+    benchmark.extra_info["report"] = str(OUTPUT.name)
+    assert report["accumulate"]["traces_per_second"] > 0

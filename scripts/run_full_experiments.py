@@ -47,7 +47,65 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="run only these experiments (default: all registered)",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "trace block cache directory (default: $REPRO_CACHE_DIR, "
+            "else no cache); results are bit-identical either way"
+        ),
+    )
+    parser.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        help="LRU size cap for the block cache (default: unlimited)",
+    )
     return parser
+
+
+def _log_cache_report(report, log) -> None:
+    """Per-experiment block-cache hit rates and the wall-time split."""
+    cached = {
+        name: entry
+        for name, entry in report.items()
+        if entry["metadata"].get("cache") is not None
+    }
+    if not cached:
+        return
+    log("== block cache ==")
+    total = {"hits": 0, "misses": 0, "bytes_read": 0, "bytes_written": 0}
+    hit_seconds = 0.0
+    miss_seconds = 0.0
+    for name, entry in cached.items():
+        cache = entry["metadata"]["cache"]
+        seconds = entry["seconds"]
+        log(
+            f"  {name}: hits={cache['hits']} misses={cache['misses']} "
+            f"hit_rate={cache['hit_rate']:.2%} "
+            f"read={cache['bytes_read'] / 1e6:.1f}MB "
+            f"written={cache['bytes_written'] / 1e6:.1f}MB "
+            f"in {seconds:.1f}s"
+        )
+        for k in total:
+            total[k] += cache[k]
+        # Attribute each experiment's wall time to the side that
+        # dominated its lookups, for a coarse cold/warm split.
+        if cache["hit_rate"] >= 0.5:
+            hit_seconds += seconds
+        else:
+            miss_seconds += seconds
+    lookups = total["hits"] + total["misses"]
+    rate = total["hits"] / lookups if lookups else 0.0
+    log(
+        f"  total: hits={total['hits']} misses={total['misses']} "
+        f"hit_rate={rate:.2%} read={total['bytes_read'] / 1e6:.1f}MB "
+        f"written={total['bytes_written'] / 1e6:.1f}MB"
+    )
+    log(
+        f"  wall-time split: {hit_seconds:.1f}s in cache-warm experiments, "
+        f"{miss_seconds:.1f}s in cache-cold experiments"
+    )
 
 
 def main(argv=None) -> int:
@@ -80,6 +138,8 @@ def main(argv=None) -> int:
             seed=args.seed,
             workers=args.workers,
             progress=on_progress if args.progress else None,
+            cache_dir=args.cache_dir,
+            cache_max_bytes=args.cache_max_bytes,
         )
         result = registry.run(name, config)
         for line in result.lines():
@@ -91,6 +151,7 @@ def main(argv=None) -> int:
         }
 
     log(f"== done in {time.time() - t0:.0f}s ==")
+    _log_cache_report(report, log)
     (OUT_DIR / "full_results.txt").write_text("\n".join(lines) + "\n")
     (OUT_DIR / "full_results.json").write_text(json.dumps(report, indent=2))
     return 0

@@ -27,7 +27,7 @@ and whose variance can never go negative.
 from __future__ import annotations
 
 import numbers
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -229,6 +229,33 @@ class SumMoments:
         self._s2 += other._s2
         return self
 
+    def state_arrays(self) -> dict:
+        """The accumulator's full state as named arrays.
+
+        The sums are exact, so a state round-trip through
+        :meth:`load_state_arrays` reproduces every later statistic bit
+        for bit — the contract the engine's attack-state snapshots
+        (:meth:`repro.runtime.Engine.stream_attack`) rest on.
+        """
+        return {
+            "n": np.array([self.n], dtype=np.int64),
+            "s": self._s.copy(),
+            "s2": self._s2.copy(),
+        }
+
+    def load_state_arrays(self, arrays: Mapping) -> "SumMoments":
+        """Overwrite this accumulator with a :meth:`state_arrays` dump."""
+        s = np.array(arrays["s"], dtype=np.float64)
+        s2 = np.array(arrays["s2"], dtype=np.float64)
+        if s.shape != (self.n_columns,) or s2.shape != (self.n_columns,):
+            raise AttackError(
+                f"state arrays do not match {self.n_columns} columns"
+            )
+        self.n = int(np.asarray(arrays["n"]).reshape(-1)[0])
+        self._s = s
+        self._s2 = s2
+        return self
+
     @property
     def mean(self) -> np.ndarray:
         """Per-column mean so far."""
@@ -303,6 +330,47 @@ class StreamingPearson:
         self._s_y += other._s_y
         self._s_y2 += other._s_y2
         self._s_xy += other._s_xy
+        return self
+
+    #: Names of the arrays a state dump carries.
+    STATE_FIELDS = ("n", "s_x", "s_x2", "s_y", "s_y2", "s_xy")
+
+    def state_arrays(self) -> dict:
+        """The accumulator's full state as named arrays (exact sums, so
+        a restore reproduces :meth:`finalize` bit for bit)."""
+        return {
+            "n": np.array([self.n], dtype=np.int64),
+            "s_x": self._s_x.copy(),
+            "s_x2": self._s_x2.copy(),
+            "s_y": self._s_y.copy(),
+            "s_y2": self._s_y2.copy(),
+            "s_xy": self._s_xy.copy(),
+        }
+
+    def load_state_arrays(self, arrays: Mapping) -> "StreamingPearson":
+        """Overwrite this accumulator with a :meth:`state_arrays` dump."""
+        shapes = {
+            "s_x": (self.n_vars,),
+            "s_x2": (self.n_vars,),
+            "s_y": (self.n_samples,),
+            "s_y2": (self.n_samples,),
+            "s_xy": (self.n_vars, self.n_samples),
+        }
+        loaded = {}
+        for name, shape in shapes.items():
+            arr = np.array(arrays[name], dtype=np.float64)
+            if arr.shape != shape:
+                raise AttackError(
+                    f"state array {name!r} has shape {arr.shape}, "
+                    f"expected {shape}"
+                )
+            loaded[name] = arr
+        self.n = int(np.asarray(arrays["n"]).reshape(-1)[0])
+        self._s_x = loaded["s_x"]
+        self._s_x2 = loaded["s_x2"]
+        self._s_y = loaded["s_y"]
+        self._s_y2 = loaded["s_y2"]
+        self._s_xy = loaded["s_xy"]
         return self
 
     def finalize(self) -> np.ndarray:

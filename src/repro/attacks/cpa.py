@@ -155,6 +155,51 @@ class CPAAttack:
         return self
 
     # ------------------------------------------------------------------
+    # Snapshot protocol — lets :meth:`repro.runtime.Engine.stream_attack`
+    # memoize accumulator states in the trace block store, so a repeated
+    # campaign replays the attack from stored sums instead of re-paying
+    # acquisition *and* accumulation.
+    # ------------------------------------------------------------------
+    def cache_token(self) -> dict:
+        """Everything that determines this attack's accumulated state
+        besides the traces themselves (the content-address companion of
+        the acquisition's ``cache_token``)."""
+        return {
+            "type": type(self).__name__,
+            "n_samples": int(self.n_samples),
+            "sample_window": (
+                None
+                if self.sample_window is None
+                else [int(self.sample_window[0]), int(self.sample_window[1])]
+            ),
+        }
+
+    def state_arrays(self) -> dict:
+        """The full accumulator state as named arrays.
+
+        The per-byte sums are exact (see :class:`~repro.analysis.
+        streaming.StreamingPearson`), so restoring a dump reproduces
+        :meth:`correlations` — and every rank derived from it — bit for
+        bit.
+        """
+        out = {}
+        for j, corr in enumerate(self._byte_corr):
+            for name, arr in corr.state_arrays().items():
+                out[f"b{j:02d}_{name}"] = arr
+        return out
+
+    def load_state_arrays(self, arrays) -> "CPAAttack":
+        """Overwrite this attack with a :meth:`state_arrays` dump."""
+        for j, corr in enumerate(self._byte_corr):
+            corr.load_state_arrays(
+                {
+                    name: arrays[f"b{j:02d}_{name}"]
+                    for name in StreamingPearson.STATE_FIELDS
+                }
+            )
+        return self
+
+    # ------------------------------------------------------------------
     def correlations(self) -> np.ndarray:
         """Pearson correlation per (key byte, guess, sample):
         ``(16, 256, window)``."""

@@ -5,11 +5,17 @@ Usage::
     python -m repro.cli list
     python -m repro.cli fig3
     python -m repro.cli table1 --workers 4 --progress
+    python -m repro.cli fig5 --cache-dir ~/.cache/repro-blocks
+    python -m repro.cli cache stats --cache-dir ~/.cache/repro-blocks
     REPRO_FULL=1 python -m repro.cli all
 
 Experiments are resolved through :mod:`repro.experiments.registry` and
 run on the parallel acquisition runtime (:class:`repro.runtime.Engine`).
-Results are deterministic in ``--seed`` at any ``--workers`` count.
+Results are deterministic in ``--seed`` at any ``--workers`` count, and
+— when ``--cache-dir`` (or ``REPRO_CACHE_DIR``) enables the trace block
+cache — independent of cache state: a warm cache only changes wall
+clock.  The ``cache`` subcommand inspects and maintains a store
+(``stats`` / ``verify`` / ``clear``).
 """
 
 from __future__ import annotations
@@ -88,7 +94,76 @@ def build_parser() -> argparse.ArgumentParser:
             "unfused oracle path)"
         ),
     )
+    _add_cache_arguments(parser)
     return parser
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "trace block cache directory (default: $REPRO_CACHE_DIR, "
+            "else no cache); bit-identical results either way"
+        ),
+    )
+    parser.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        help="LRU size cap for the block cache (default: unlimited)",
+    )
+
+
+def build_cache_parser() -> argparse.ArgumentParser:
+    """Parser of the ``cache`` maintenance subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="Inspect and maintain a trace block cache directory.",
+    )
+    parser.add_argument(
+        "action",
+        choices=("stats", "verify", "clear"),
+        help=(
+            "stats: block count and size; verify: re-check every "
+            "block's digest; clear: delete all blocks"
+        ),
+    )
+    parser.add_argument(
+        "--delete-bad",
+        action="store_true",
+        help="with 'verify': delete blocks that fail the check",
+    )
+    _add_cache_arguments(parser)
+    return parser
+
+
+def _cache_main(argv) -> int:
+    """The ``repro cache stats|verify|clear`` maintenance entry."""
+    args = build_cache_parser().parse_args(argv)
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if not cache_dir:
+        print(
+            "no cache directory: pass --cache-dir or set REPRO_CACHE_DIR",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.traces.blockstore import BlockStore
+
+    store = BlockStore(cache_dir, max_bytes=args.cache_max_bytes)
+    if args.action == "stats":
+        stats = store.stats()
+        print(f"{store.root}: {stats.summary()}")
+        return 0
+    if args.action == "verify":
+        report = store.verify(delete_bad=args.delete_bad)
+        print(f"{store.root}: {report.n_ok} blocks ok, {len(report.bad)} bad")
+        for line in report.bad:
+            print(f"  BAD {line}")
+        return 0 if report.ok else 1
+    removed = store.clear()
+    print(f"{store.root}: removed {removed} blocks")
+    return 0
 
 
 def _progress_printer(name: str):
@@ -113,6 +188,8 @@ def _run_one(name: str, args) -> None:
         shard_size=args.shard_size,
         chunk_size=args.chunk_size,
         progress=_progress_printer(name) if args.progress else None,
+        cache_dir=args.cache_dir,
+        cache_max_bytes=args.cache_max_bytes,
     )
     result = registry.run(name, config)
     print(spec.title)
@@ -121,6 +198,14 @@ def _run_one(name: str, args) -> None:
     if result.metrics:
         metrics = ", ".join(f"{k}={v}" for k, v in result.metrics.items())
         print(f"metrics: {metrics}")
+    cache = result.metadata.get("cache")
+    if cache:
+        print(
+            f"cache: hits={cache['hits']} misses={cache['misses']} "
+            f"hit_rate={cache['hit_rate']:.2%} "
+            f"read={cache['bytes_read'] / 1e6:.1f}MB "
+            f"written={cache['bytes_written'] / 1e6:.1f}MB"
+        )
     print(
         f"[{name}] scale={config.scale} seed={config.seed} "
         f"workers={config.workers} in {result.seconds:.1f}s"
@@ -129,6 +214,11 @@ def _run_one(name: str, args) -> None:
 
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "cache":
+        # Maintenance subcommand; dispatched before the main parser so
+        # the 'experiment' positional does not swallow it.
+        return _cache_main(argv[1:])
     args = build_parser().parse_args(argv)
     from repro.errors import ReproError
     from repro.experiments import registry

@@ -188,6 +188,34 @@ class VoltageSensor(abc.ABC):
             self._table = (grid, mu, sigma)
         return self._table
 
+    def cache_token(self) -> dict:
+        """Deterministic fingerprint of this sensor's sampling behavior
+        (for :mod:`repro.traces.blockstore` keys).
+
+        Readouts depend on the sensor only through
+        :meth:`bit_probabilities` (plus the output width and position),
+        so instead of enumerating every subclass parameter — delay taps,
+        calibration offsets, primitive attributes — the token hashes the
+        voltage->moments table, which *is* the behavior sampled on a
+        dense grid.  Any change to the delay chain or its calibration
+        moves table entries and therefore the token; cosmetic changes
+        (renamed attributes, refactors) do not.
+        """
+        import dataclasses
+        import hashlib
+
+        grid, mu, sigma = self._moments_table()
+        digest = hashlib.sha256()
+        for arr in (grid, mu, sigma):
+            digest.update(np.ascontiguousarray(arr).tobytes())
+        return {
+            "type": type(self).__name__,
+            "output_width": int(self.output_width),
+            "position": [float(p) for p in self.require_position()],
+            "constants": dataclasses.asdict(self.constants),
+            "moments_digest": digest.hexdigest(),
+        }
+
     # -- sampling --------------------------------------------------------
     def sample_readouts(
         self,

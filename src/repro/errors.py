@@ -54,6 +54,23 @@ class SensorRangeError(AcquisitionError):
     saturates at its maximum."""
 
 
+class CacheError(ReproError):
+    """The trace block cache could not be set up or operated (bad root
+    directory, invalid size cap, unwritable store)."""
+
+
+class CacheIntegrityWarning(UserWarning):
+    """A cached trace block failed validation (truncated file, header
+    corruption, digest mismatch).
+
+    This is a *warning*, not an error, by design: a damaged block is
+    indistinguishable from a missing one for correctness purposes — the
+    engine discards it and re-acquires the shard, so results stay
+    bit-identical.  The warning makes the silent repair visible (a
+    recurring stream of them points at a failing disk or a writer that
+    does not use the atomic temp-file + rename protocol)."""
+
+
 class AttackError(ReproError):
     """A side-channel attack could not be carried out as requested."""
 

@@ -28,6 +28,7 @@ result object (``payload``) together with uniform metadata and a flat
 
 from __future__ import annotations
 
+import os
 import time
 import warnings
 from dataclasses import dataclass, field
@@ -70,6 +71,15 @@ class ExperimentConfig:
         the transient working set.
     progress:
         Progress callback forwarded to the engine.
+    cache_dir:
+        Directory of the content-addressed trace block cache
+        (:mod:`repro.traces.blockstore`).  ``None`` reads the
+        ``REPRO_CACHE_DIR`` environment variable; when that is unset
+        too, the cache is off (every block acquired live).  Because
+        cached blocks are bit-identical to live acquisition, this
+        setting never changes results — only wall clock.
+    cache_max_bytes:
+        Optional LRU size cap for the block cache.
     options:
         Per-experiment parameter overrides, merged over the
         scale-derived defaults (e.g. ``{"n_traces": 10_000}``).
@@ -81,6 +91,8 @@ class ExperimentConfig:
     shard_size: int = 4096
     chunk_size: Optional[int] = None
     progress: Optional[ProgressFn] = None
+    cache_dir: Optional[str] = None
+    cache_max_bytes: Optional[int] = None
     options: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -89,13 +101,23 @@ class ExperimentConfig:
                 f"unknown scale {self.scale!r}; expected one of {SCALES}"
             )
         validate_chunk_size(self.chunk_size, allow_none=True)
+        if self.cache_dir is None:
+            self.cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
 
     def make_engine(self) -> Engine:
         """An engine matching this configuration."""
+        from repro.traces.blockstore import BlockStore
+
+        cache = (
+            BlockStore(self.cache_dir, max_bytes=self.cache_max_bytes)
+            if self.cache_dir
+            else None
+        )
         return Engine(
             workers=self.workers,
             shard_size=self.shard_size,
             progress=self.progress,
+            cache=cache,
         )
 
     def spawn_seeds(self, n: int) -> List[np.random.SeedSequence]:
@@ -215,20 +237,32 @@ def run(
     spec = get(name)
     config = config or ExperimentConfig()
     engine = engine or config.make_engine()
+    cache_before = dict(engine.cache_totals)
     t0 = time.perf_counter()
     payload = spec.runner(config, engine)
     seconds = time.perf_counter() - t0
+    metadata = {
+        "scale": config.scale,
+        "seed": config.seed,
+        "workers": engine.workers,
+        "chunk_size": config.chunk_size,
+        "options": dict(config.options),
+    }
+    if engine.cache is not None:
+        # This experiment's own cache activity (the engine may be
+        # shared across experiments, so report the delta).
+        cache = {
+            k: engine.cache_totals[k] - cache_before[k]
+            for k in engine.cache_totals
+        }
+        lookups = cache["hits"] + cache["misses"]
+        cache["hit_rate"] = round(cache["hits"] / lookups, 4) if lookups else 0.0
+        metadata["cache"] = cache
     return ExperimentResult(
         name=name,
         payload=payload,
         metrics=spec.metrics(payload),
-        metadata={
-            "scale": config.scale,
-            "seed": config.seed,
-            "workers": engine.workers,
-            "chunk_size": config.chunk_size,
-            "options": dict(config.options),
-        },
+        metadata=metadata,
         seconds=seconds,
     )
 

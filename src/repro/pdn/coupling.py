@@ -111,6 +111,21 @@ class CouplingModel:
                 )
 
     # ------------------------------------------------------------------
+    def cache_token(self) -> Dict[str, object]:
+        """Deterministic fingerprint of the surrogate's transfer
+        behavior (for :mod:`repro.traces.blockstore` keys): the device
+        grid, the per-region supply map and every constant the kappa
+        kernel and the low-pass design read.  Derived caches (the
+        per-dt filter designs) are deliberately excluded — they are
+        recomputed, not configured."""
+        import dataclasses
+
+        return {
+            "device": self.device.name,
+            "supply_factors": {k: float(v) for k, v in self.supply_factors.items()},
+            "constants": dataclasses.asdict(self.constants),
+        }
+
     def supply_factor(self, x: float, y: float) -> float:
         """Supply strength g at a die position (region-resolved)."""
         region = self.device.region_of(int(round(x)), int(round(y)))

@@ -48,6 +48,13 @@ class NoiseModel:
         if not 0 <= self.burst_rate < 1:
             raise ConfigurationError("burst_rate must be in [0, 1)")
 
+    def cache_token(self) -> dict:
+        """Deterministic fingerprint for :mod:`repro.traces.blockstore`
+        keys (all four amplitudes; the model has no hidden state)."""
+        from dataclasses import asdict
+
+        return asdict(self)
+
     def sample(self, n: int, rng: RngLike = None) -> np.ndarray:
         """Generate ``n`` correlated noise samples [V]."""
         rng = make_rng(rng)

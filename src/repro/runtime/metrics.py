@@ -29,6 +29,11 @@ class ShardMetrics:
     #: Bytes of result arrays materialized per stage (deterministic
     #: byte accounting from :class:`repro.kernels.StageProfile`).
     stage_nbytes: Dict[str, int] = field(default_factory=dict)
+    #: Block-cache outcome for this shard: ``"hit"`` (served from the
+    #: store), ``"miss"`` (acquired and published) or ``""`` (cache off).
+    cache: str = ""
+    #: Bytes read from (hit) or written to (miss) the block store.
+    cache_nbytes: int = 0
 
     @property
     def items_per_second(self) -> float:
@@ -44,6 +49,8 @@ class ShardMetrics:
             if nbytes:
                 part += f"/{nbytes / 1e6:.0f}MB"
             parts.append(part)
+        if self.cache:
+            parts.append(f"cache {self.cache} {self.cache_nbytes / 1e6:.1f}MB")
         split = f" ({', '.join(parts)})" if parts else ""
         return (
             f"shard {self.shard_index}: {self.n_items} items in "
@@ -93,6 +100,49 @@ class EngineMetrics:
                 totals[stage] = totals.get(stage, 0) + nbytes
         return totals
 
+    # -- block-cache views ------------------------------------------------
+    @property
+    def cache_enabled(self) -> bool:
+        """Whether this run went through a block store."""
+        return any(s.cache for s in self.shards)
+
+    @property
+    def cache_hits(self) -> int:
+        """Shards served from the block store."""
+        return sum(1 for s in self.shards if s.cache == "hit")
+
+    @property
+    def cache_misses(self) -> int:
+        """Shards acquired live (and published to the store)."""
+        return sum(1 for s in self.shards if s.cache == "miss")
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits over cache-visible shards (0.0 with the cache off)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def cache_bytes_read(self) -> int:
+        """Bytes served from the store across all hit shards."""
+        return sum(s.cache_nbytes for s in self.shards if s.cache == "hit")
+
+    @property
+    def cache_bytes_written(self) -> int:
+        """Bytes published to the store across all miss shards."""
+        return sum(s.cache_nbytes for s in self.shards if s.cache == "miss")
+
+    def cache_summary(self) -> Dict[str, object]:
+        """Flat JSON-friendly cache view of this run."""
+        return {
+            "enabled": self.cache_enabled,
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "hit_rate": round(self.cache_hit_rate, 4),
+            "bytes_read": self.cache_bytes_read,
+            "bytes_written": self.cache_bytes_written,
+        }
+
     def stage_items_per_second(self) -> Dict[str, float]:
         """Per-stage throughput: campaign items over that stage's
         summed worker seconds (i.e. the rate each stage alone would
@@ -106,8 +156,14 @@ class EngineMetrics:
         """One human-readable line for logs and progress output."""
         stages = self.stage_totals()
         split = ", ".join(f"{k} {v:.2f}s" for k, v in sorted(stages.items()))
+        cache = ""
+        if self.cache_enabled:
+            cache = (
+                f"; cache {self.cache_hits}/{self.cache_hits + self.cache_misses}"
+                f" hits ({self.cache_hit_rate:.0%})"
+            )
         return (
             f"{self.kind}: {self.n_items} items in {self.wall_seconds:.2f}s "
             f"({self.items_per_second:.0f}/s, {self.n_shards} shards, "
-            f"{self.workers} workers; {split})"
+            f"{self.workers} workers; {split}{cache})"
         )

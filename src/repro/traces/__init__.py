@@ -10,6 +10,17 @@ readout matrix.
 """
 
 from repro.traces.acquisition import AESTraceAcquisition, characterize_readouts
+from repro.traces.blockstore import (
+    SCHEMA_VERSION,
+    BlockStore,
+    CacheCounters,
+    CachedBlock,
+    StoreStats,
+    VerifyReport,
+    block_key,
+    open_store,
+    seed_lineage,
+)
 from repro.traces.store import TraceSet
 from repro.traces.transport import AcquisitionPlan, CaptureBuffer, UartLink
 
@@ -20,4 +31,13 @@ __all__ = [
     "AcquisitionPlan",
     "CaptureBuffer",
     "UartLink",
+    "SCHEMA_VERSION",
+    "BlockStore",
+    "CacheCounters",
+    "CachedBlock",
+    "StoreStats",
+    "VerifyReport",
+    "block_key",
+    "open_store",
+    "seed_lineage",
 ]

@@ -129,6 +129,27 @@ class AESTraceAcquisition:
         encryption span plus one cycle of margin on either side."""
         return self.hw_model.samples_per_block + 2 * self.hw_model.samples_per_cycle
 
+    def cache_token(self) -> Dict[str, object]:
+        """Deterministic fingerprint of everything this harness feeds
+        into a trace block, for :mod:`repro.traces.blockstore` keys.
+
+        Combines the behavioral tokens of the sensor, the PDN
+        surrogate, the hardware model and the noise model with the AES
+        placement.  The acquisition *kernel* is deliberately excluded:
+        kernels are bit-identical by construction (differentially
+        tested in ``tests/test_kernels.py``), so a block acquired under
+        one kernel is valid for all — and switching kernels must not
+        invalidate a warm cache.
+        """
+        return {
+            "kind": "aes-trace",
+            "sensor": self.sensor.cache_token(),
+            "coupling": self.coupling.cache_token(),
+            "hw_model": self.hw_model.cache_token(),
+            "noise": self.noise.cache_token(),
+            "aes_position": [float(p) for p in self.aes_position],
+        }
+
     def acquire_block(
         self,
         aes: AES128,

@@ -1,0 +1,559 @@
+"""Content-addressed on-disk cache of acquisition blocks.
+
+Every trace block this library produces is a pure function of
+``(acquisition config, RNG lineage, block shape, code schema)`` — the
+engine's whole determinism story rests on that.  The block store turns
+the purity into reuse: a block is written once under a canonical
+content address and every later campaign that would regenerate it —
+a re-run of the same figure, a different experiment sharing a campaign
+prefix, a second process on the same machine — memory-maps the stored
+bytes instead of re-paying the sensor-pipeline cost.
+
+Design points:
+
+* **Content addressing** (:func:`block_key`): the key is the SHA-256 of
+  a canonical JSON payload combining the acquisition *cache token* (the
+  physical configuration, see ``AESTraceAcquisition.cache_token``), the
+  RNG lineage of the shard's :class:`~numpy.random.SeedSequence`
+  (entropy + spawn key — exactly what pins the stream), the block
+  geometry and :data:`SCHEMA_VERSION`.  The acquisition kernel is
+  deliberately *not* part of the key: kernels are bit-identical by
+  construction, so a block acquired by one serves all.
+* **Atomic writes** (:meth:`BlockStore.put`): blocks are serialized to
+  a temp file in the same directory and published with
+  :func:`os.replace`.  Concurrent writers (the parallel engine's
+  workers, or two engines sharing one store) race benignly: both write
+  identical bytes and the losing rename simply overwrites them.
+* **Integrity** : the payload region carries a SHA-256 digest in the
+  header.  A truncated or corrupted block never produces wrong data —
+  :meth:`BlockStore.get` emits a :class:`~repro.errors.
+  CacheIntegrityWarning`, deletes the bad file and reports a miss, so
+  the engine re-acquires the shard.
+* **Zero-copy reads** (:class:`CachedBlock`): arrays come back as
+  read-only :class:`numpy.memmap` views over the block file, 64-byte
+  aligned.  ``Engine.stream_attack`` feeds accumulator updates straight
+  from those views; the trace matrix is never copied into anonymous
+  memory, and page cache is shared between concurrent readers.
+* **Eviction** (:meth:`BlockStore.prune`): optional LRU size cap.
+  Reads touch the block's mtime, so recently-used blocks survive.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import struct
+import uuid
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import CacheError, CacheIntegrityWarning
+
+#: Bump when the meaning of cached bytes changes (kernel semantics, RNG
+#: consumption order, array layout).  Part of every block key, so a
+#: schema change invalidates the whole store without touching it.
+SCHEMA_VERSION = 1
+
+#: Leading bytes of every block file.
+MAGIC = b"RPROBLK\x01"
+
+#: Alignment of the header end and of each array's payload offset.
+ALIGN = 64
+
+_HEADER_LEN_FMT = "<Q"
+_TMP_PREFIX = ".tmp-"
+_BLOCK_SUFFIX = ".blk"
+
+
+# ----------------------------------------------------------------------
+# Canonical keys
+# ----------------------------------------------------------------------
+
+
+def _canonical(obj):
+    """Normalize a payload fragment into canonically-JSON-able form.
+
+    Sorts mappings, converts numpy scalars/arrays and dataclasses, and
+    renders floats via ``repr`` round-trip (`json` already does).  The
+    result feeds ``json.dumps(sort_keys=True)``, so two payloads that
+    compare equal hash equal regardless of construction order.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return _canonical(dataclasses.asdict(obj))
+    if isinstance(obj, Mapping):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return _canonical(obj.tolist())
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (bytes, bytearray)):
+        return hashlib.sha256(bytes(obj)).hexdigest()
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise CacheError(
+        f"cannot canonicalize {type(obj).__name__!r} into a cache key; "
+        "pass plain scalars, sequences, mappings or numpy values"
+    )
+
+
+def canonical_payload(payload: Mapping) -> str:
+    """The canonical JSON text a block key is hashed from."""
+    return json.dumps(_canonical(payload), sort_keys=True, separators=(",", ":"))
+
+
+def block_key(payload: Mapping) -> str:
+    """SHA-256 content address of a canonical key payload."""
+    return hashlib.sha256(canonical_payload(payload).encode()).hexdigest()
+
+
+def seed_lineage(seq: np.random.SeedSequence) -> Dict[str, object]:
+    """The identity of a :class:`~numpy.random.SeedSequence` stream.
+
+    ``(entropy, spawn_key, pool_size)`` pins every number the sequence
+    will ever produce — two sequences with equal lineage generate
+    identical streams in any process.  This is the "kernel-invariant RNG
+    lineage" part of a block key: the engine spawns one child per shard,
+    so the child's spawn key encodes (root seed, shard index) exactly.
+    """
+    entropy = seq.entropy
+    if isinstance(entropy, (list, tuple, np.ndarray)):
+        entropy = [int(e) for e in entropy]
+    elif entropy is not None:
+        entropy = int(entropy)
+    return {
+        "entropy": str(entropy),
+        "spawn_key": [int(k) for k in seq.spawn_key],
+        "pool_size": int(seq.pool_size),
+    }
+
+
+# ----------------------------------------------------------------------
+# Block file format
+# ----------------------------------------------------------------------
+
+
+def _pad(n: int) -> int:
+    return (ALIGN - n % ALIGN) % ALIGN
+
+
+def _serialize(key: str, arrays: Mapping[str, np.ndarray], meta: Optional[Mapping]) -> bytes:
+    """One block file: magic, length-prefixed JSON header, aligned
+    payload of raw C-order array bytes, digest over the payload."""
+    specs: List[Dict[str, object]] = []
+    payload_parts: List[bytes] = []
+    offset = 0
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        data = array.tobytes()
+        specs.append(
+            {
+                "name": str(name),
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+                "offset": offset,
+                "nbytes": len(data),
+            }
+        )
+        payload_parts.append(data)
+        pad = _pad(len(data))
+        payload_parts.append(b"\x00" * pad)
+        offset += len(data) + pad
+    payload = b"".join(payload_parts)
+    header = {
+        "schema": SCHEMA_VERSION,
+        "key": key,
+        "arrays": specs,
+        "payload_nbytes": len(payload),
+        "digest": hashlib.sha256(payload).hexdigest(),
+        "meta": _canonical(meta) if meta is not None else {},
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode()
+    prefix_len = len(MAGIC) + struct.calcsize(_HEADER_LEN_FMT) + len(header_bytes)
+    head = MAGIC + struct.pack(_HEADER_LEN_FMT, len(header_bytes)) + header_bytes
+    return head + b"\x00" * _pad(prefix_len) + payload
+
+
+@dataclass
+class CachedBlock:
+    """One block read back from the store.
+
+    ``arrays`` maps names to read-only :class:`numpy.memmap` views over
+    the block file — no bytes are copied until a consumer touches them,
+    and touching them fills the shared page cache, not private memory.
+    """
+
+    key: str
+    path: Path
+    arrays: Dict[str, np.ndarray]
+    nbytes: int
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def materialize(self) -> Dict[str, np.ndarray]:
+        """Private in-memory copies of every array (rarely needed —
+        slices of the memmaps feed accumulators directly)."""
+        return {name: np.array(a) for name, a in self.arrays.items()}
+
+
+@dataclass
+class CacheCounters:
+    """Session-local cache activity (one store instance, one process)."""
+
+    hits: int = 0
+    misses: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    puts: int = 0
+    evictions: int = 0
+    integrity_failures: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when nothing was looked up)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat JSON-friendly view."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "integrity_failures": self.integrity_failures,
+        }
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """On-disk state of a store directory."""
+
+    n_blocks: int
+    total_bytes: int
+
+    def summary(self) -> str:
+        """One human-readable line."""
+        return f"{self.n_blocks} blocks, {self.total_bytes / 1e6:.1f} MB"
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of a full-store integrity sweep."""
+
+    n_ok: int = 0
+    bad: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every block passed."""
+        return not self.bad
+
+
+class BlockStore:
+    """A content-addressed block cache rooted at one directory.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created on first use).  Safe to share between
+        concurrent processes: writes are atomic renames and readers
+        only ever see complete published files.
+    max_bytes:
+        Optional LRU size cap.  After every write the store evicts
+        least-recently-used blocks until the total is back under the
+        cap.  ``None`` (default) never evicts.
+    verify_reads:
+        Verify the payload digest on every :meth:`get` (default).  The
+        check costs one hash pass over bytes the consumer was about to
+        read anyway — negligible next to regenerating the block.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        max_bytes: Optional[int] = None,
+        verify_reads: bool = True,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise CacheError("max_bytes must be positive (or None for no cap)")
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        self.verify_reads = verify_reads
+        self.counters = CacheCounters()
+
+    # A store pickles as its configuration: worker processes reopen the
+    # directory and keep their own counters (reported back to the
+    # parent via ShardMetrics, not via this object).
+    def __getstate__(self):
+        return {
+            "root": str(self.root),
+            "max_bytes": self.max_bytes,
+            "verify_reads": self.verify_reads,
+        }
+
+    def __setstate__(self, state):
+        self.__init__(**state)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cap = f", max_bytes={self.max_bytes}" if self.max_bytes else ""
+        return f"BlockStore({str(self.root)!r}{cap})"
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """Where a block with this key lives (two-level fan-out)."""
+        return self.root / key[:2] / (key + _BLOCK_SUFFIX)
+
+    def _iter_block_paths(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return
+        for sub in sorted(self.root.iterdir()):
+            if not sub.is_dir():
+                continue
+            for path in sorted(sub.iterdir()):
+                if path.name.endswith(_BLOCK_SUFFIX) and not path.name.startswith(
+                    _TMP_PREFIX
+                ):
+                    yield path
+
+    def contains(self, key: str) -> bool:
+        """Whether a block is published (no integrity check)."""
+        return self.path_for(key).is_file()
+
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        key: str,
+        arrays: Mapping[str, np.ndarray],
+        meta: Optional[Mapping] = None,
+    ) -> Path:
+        """Publish a block atomically; returns its path.
+
+        Safe under concurrent writers: the block is fully written to a
+        unique temp file in the target directory, flushed, and then
+        renamed over the final path.  Readers never observe a partial
+        block, and a crash leaves at worst an orphaned temp file (swept
+        by :meth:`clear`/:meth:`prune`).
+        """
+        if not arrays:
+            raise CacheError("a block needs at least one array")
+        path = self.path_for(key)
+        blob = _serialize(key, arrays, meta)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f"{_TMP_PREFIX}{key[:16]}-{os.getpid()}-{uuid.uuid4().hex}"
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        self.counters.puts += 1
+        self.counters.bytes_written += len(blob)
+        if self.max_bytes is not None:
+            self.prune(self.max_bytes)
+        return path
+
+    def get(self, key: str, touch: bool = True) -> Optional[CachedBlock]:
+        """Look a block up; ``None`` on miss *or* on a damaged block.
+
+        A damaged block (truncated, bad header, digest mismatch) emits
+        a :class:`~repro.errors.CacheIntegrityWarning`, is deleted, and
+        counts as a miss — the caller re-acquires and re-publishes, so
+        corruption can never change results.
+        """
+        path = self.path_for(key)
+        try:
+            block = self._read(key, path)
+        except FileNotFoundError:
+            self.counters.misses += 1
+            return None
+        except (OSError, ValueError) as exc:
+            self._quarantine(path, str(exc))
+            self.counters.misses += 1
+            return None
+        if touch:
+            try:
+                os.utime(path)
+            except OSError:
+                pass
+        self.counters.hits += 1
+        self.counters.bytes_read += block.nbytes
+        return block
+
+    def _read(self, key: str, path: Path) -> CachedBlock:
+        size = path.stat().st_size
+        with open(path, "rb") as fh:
+            magic = fh.read(len(MAGIC))
+            if magic != MAGIC:
+                raise ValueError("bad magic (not a block file or truncated)")
+            (header_len,) = struct.unpack(
+                _HEADER_LEN_FMT, fh.read(struct.calcsize(_HEADER_LEN_FMT))
+            )
+            if header_len <= 0 or header_len > size:
+                raise ValueError("implausible header length")
+            try:
+                header = json.loads(fh.read(header_len).decode())
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ValueError(f"unreadable header: {exc}") from None
+        if header.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"schema {header.get('schema')!r} != current {SCHEMA_VERSION}"
+            )
+        if header.get("key") != key:
+            raise ValueError("stored key does not match its address")
+        prefix = len(MAGIC) + struct.calcsize(_HEADER_LEN_FMT) + header_len
+        payload_start = prefix + _pad(prefix)
+        payload_nbytes = int(header["payload_nbytes"])
+        if payload_start + payload_nbytes > size:
+            raise ValueError(
+                f"truncated payload: file has {size - payload_start} of "
+                f"{payload_nbytes} bytes"
+            )
+        raw = np.memmap(path, dtype=np.uint8, mode="r", offset=payload_start,
+                        shape=(payload_nbytes,))
+        if self.verify_reads:
+            digest = hashlib.sha256(raw).hexdigest()
+            if digest != header["digest"]:
+                raise ValueError("payload digest mismatch")
+        arrays: Dict[str, np.ndarray] = {}
+        for spec in header["arrays"]:
+            dtype = np.dtype(spec["dtype"])
+            shape = tuple(int(s) for s in spec["shape"])
+            nbytes = int(spec["nbytes"])
+            if int(np.prod(shape, dtype=np.int64)) * dtype.itemsize != nbytes:
+                raise ValueError(f"array {spec['name']!r} shape/nbytes mismatch")
+            offset = int(spec["offset"])
+            if offset + nbytes > payload_nbytes:
+                raise ValueError(f"array {spec['name']!r} exceeds the payload")
+            view = raw[offset : offset + nbytes].view(dtype).reshape(shape)
+            arrays[spec["name"]] = view
+        return CachedBlock(
+            key=key,
+            path=path,
+            arrays=arrays,
+            nbytes=payload_nbytes,
+            meta=dict(header.get("meta", {})),
+        )
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        self.counters.integrity_failures += 1
+        warnings.warn(
+            f"discarding damaged cache block {path.name}: {reason} "
+            "(the shard will be re-acquired)",
+            CacheIntegrityWarning,
+            stacklevel=3,
+        )
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    def stats(self) -> StoreStats:
+        """Current on-disk block count and total size."""
+        n = 0
+        total = 0
+        for path in self._iter_block_paths():
+            try:
+                total += path.stat().st_size
+                n += 1
+            except OSError:
+                continue
+        return StoreStats(n_blocks=n, total_bytes=total)
+
+    def verify(self, delete_bad: bool = False) -> VerifyReport:
+        """Re-check every block's digest; optionally delete failures."""
+        report = VerifyReport()
+        for path in self._iter_block_paths():
+            key = path.name[: -len(_BLOCK_SUFFIX)]
+            try:
+                self._read(key, path)
+            except (OSError, ValueError) as exc:
+                report.bad.append(f"{path.name}: {exc}")
+                if delete_bad:
+                    path.unlink(missing_ok=True)
+            else:
+                report.n_ok += 1
+        return report
+
+    def clear(self) -> int:
+        """Delete every block (and orphaned temp file); returns count."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for sub in sorted(self.root.iterdir()):
+            if not sub.is_dir():
+                continue
+            for path in sorted(sub.iterdir()):
+                if path.name.endswith(_BLOCK_SUFFIX) or path.name.startswith(
+                    _TMP_PREFIX
+                ):
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        continue
+            try:
+                sub.rmdir()
+            except OSError:
+                pass
+        return removed
+
+    def prune(self, max_bytes: int) -> int:
+        """Evict least-recently-used blocks until under ``max_bytes``.
+
+        Reads touch mtime (:meth:`get`), so eviction order is true LRU.
+        Concurrent-delete races are benign (missing files are skipped).
+        Returns the number of blocks evicted.
+        """
+        if max_bytes < 0:
+            raise CacheError("max_bytes must be non-negative")
+        entries: List[Tuple[float, int, Path]] = []
+        total = 0
+        for path in self._iter_block_paths():
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            entries.append((st.st_mtime, st.st_size, path))
+            total += st.st_size
+        entries.sort(key=lambda e: e[0])
+        evicted = 0
+        for _mtime, nbytes, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= nbytes
+            evicted += 1
+        self.counters.evictions += evicted
+        return evicted
+
+
+def open_store(
+    spec: Union[None, str, Path, BlockStore],
+    max_bytes: Optional[int] = None,
+) -> Optional[BlockStore]:
+    """Normalize a cache argument: ``None`` stays off, a path becomes a
+    :class:`BlockStore`, a store passes through unchanged."""
+    if spec is None:
+        return None
+    if isinstance(spec, BlockStore):
+        return spec
+    return BlockStore(spec, max_bytes=max_bytes)

@@ -85,9 +85,17 @@ class TraceSet:
         )
 
     # ------------------------------------------------------------------
-    def save(self, path: Union[str, Path]) -> None:
-        """Persist to an ``.npz`` file."""
-        np.savez_compressed(
+    def save(self, path: Union[str, Path], *, compress: bool = True) -> None:
+        """Persist to an ``.npz`` file.
+
+        ``compress=False`` writes a stored (uncompressed) archive:
+        int16 sensor readouts deflate slowly for only a modest size
+        win, so campaign-sized sets save several times faster
+        uncompressed.  The default stays compressed; :meth:`load` reads
+        either transparently.
+        """
+        writer = np.savez_compressed if compress else np.savez
+        writer(
             Path(path),
             traces=self.traces,
             plaintexts=self.plaintexts,

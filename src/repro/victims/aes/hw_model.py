@@ -57,6 +57,18 @@ class AESHardwareModel:
         self.sensor_clock = sensor_clock
         self.constants = constants
 
+    def cache_token(self) -> dict:
+        """Deterministic fingerprint for :mod:`repro.traces.blockstore`
+        keys: both clock frequencies plus the current constants the
+        waveform synthesis reads."""
+        from dataclasses import asdict
+
+        return {
+            "aes_clock_hz": float(self.aes_clock.frequency),
+            "sensor_clock_hz": float(self.sensor_clock.frequency),
+            "constants": asdict(self.constants),
+        }
+
     @property
     def samples_per_cycle(self) -> int:
         """Sensor samples per AES clock cycle (rounded; exact for the
