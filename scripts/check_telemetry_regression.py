@@ -1,0 +1,167 @@
+"""Validate the telemetry regression gate end to end.
+
+Runs one experiment three times with telemetry run records:
+
+1. baseline pass (``run_a``),
+2. identical pass (``run_b``) — ``repro report diff run_a run_b`` must
+   exit 0 with bit-identical result digests,
+3. sabotaged pass (``run_slow``) with a synthetic sleep injected into
+   one kernel stage via ``REPRO_INJECT_STAGE_SLEEP`` — the diff against
+   the baseline must fail and its verdict must name that stage, while
+   the result digest stays identical (a slow stage is not wrong
+   science).
+
+Also asserts every run directory carries a Perfetto-loadable
+``trace.json``.  Exits non-zero on any violation.  Used by CI's
+``telemetry-regression`` job::
+
+    PYTHONPATH=src python scripts/check_telemetry_regression.py \
+        --run-dir runs/telemetry
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--experiment",
+        default="fig5",
+        help="registered experiment to run (default: fig5)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "paper"),
+        default="quick",
+        help="workload scale (default: quick)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="acquisition worker processes (default: 1)",
+    )
+    parser.add_argument(
+        "--stage",
+        default="pdn",
+        help="kernel stage to sabotage in the third pass (default: pdn)",
+    )
+    parser.add_argument(
+        "--sleep",
+        type=float,
+        default=0.2,
+        help="seconds of sleep injected per sabotaged stage call (default: 0.2)",
+    )
+    parser.add_argument(
+        "--run-dir",
+        default=None,
+        help=(
+            "keep run_a/run_b/run_slow telemetry records under this "
+            "directory (default: a temporary directory, discarded)"
+        ),
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    from repro import cli
+    from repro.experiments import registry
+    from repro.telemetry import TRACE_FILE, diff_runs
+
+    with tempfile.TemporaryDirectory(prefix="repro-telemetry-") as tmp:
+        run_root = args.run_dir or tmp
+
+        def run_pass(label):
+            config = registry.ExperimentConfig(
+                scale=args.scale,
+                seed=args.seed,
+                workers=args.workers,
+                run_dir=os.path.join(run_root, label),
+            )
+            t0 = time.perf_counter()
+            registry.run(args.experiment, config)
+            print(
+                f"{label}: {args.experiment} in "
+                f"{time.perf_counter() - t0:.2f}s -> {config.run_dir}",
+                flush=True,
+            )
+            return config.run_dir
+
+        run_a = run_pass("run_a")
+        run_b = run_pass("run_b")
+        os.environ["REPRO_INJECT_STAGE_SLEEP"] = f"{args.stage}:{args.sleep}"
+        try:
+            run_slow = run_pass("run_slow")
+        finally:
+            del os.environ["REPRO_INJECT_STAGE_SLEEP"]
+
+        failures = []
+
+        # 1. Identical runs: the CLI gate must pass (exit 0).
+        code = cli.main(["report", "diff", run_a, run_b])
+        if code != 0:
+            failures.append(
+                f"'repro report diff' exited {code} on identical runs"
+            )
+        identical = diff_runs(run_a, run_b)
+        digest = [v for v in identical.verdicts if v.metric == "result_digest"]
+        if not digest or digest[0].kind != "ok":
+            failures.append("identical runs did not report matching digests")
+
+        # 2. Sabotaged run: the gate must fail and name the stage.
+        code = cli.main(["report", "diff", run_a, run_slow])
+        if code == 0:
+            failures.append(
+                "'repro report diff' exited 0 despite the injected "
+                f"{args.sleep}s/{args.stage} slowdown"
+            )
+        sabotaged = diff_runs(run_a, run_slow)
+        stage_metric = f"stage:{args.stage}"
+        flagged = [
+            v
+            for v in sabotaged.regressions
+            if v.metric == stage_metric
+        ]
+        if not flagged:
+            found = ", ".join(v.metric for v in sabotaged.regressions) or "none"
+            failures.append(
+                f"regression verdicts did not name {stage_metric} "
+                f"(flagged: {found})"
+            )
+        else:
+            print(f"sabotage detected: {flagged[0].line().strip()}")
+        # A slow stage must not change the science.
+        digest = [
+            v for v in sabotaged.verdicts if v.metric == "result_digest"
+        ]
+        if not digest or digest[0].kind != "ok":
+            failures.append("injected sleep changed the result digest")
+
+        # 3. Every record ships a Perfetto-loadable trace.
+        for run_dir in (run_a, run_b, run_slow):
+            trace_path = os.path.join(run_dir, TRACE_FILE)
+            try:
+                with open(trace_path) as fh:
+                    events = json.load(fh)["traceEvents"]
+            except (OSError, KeyError, ValueError) as exc:
+                failures.append(f"bad trace {trace_path}: {exc}")
+                continue
+            if not any(e.get("ph") == "X" for e in events):
+                failures.append(f"trace {trace_path} has no duration events")
+
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if not failures:
+            print("telemetry regression gate OK")
+        return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

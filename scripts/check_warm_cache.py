@@ -6,7 +6,8 @@ from the store) — then asserts:
 
 * the warm pass has a 100% hit rate,
 * every experiment metric (key ranks, correlations) is identical
-  across the two passes,
+  across the two passes — checked both in memory and through the
+  telemetry run logs' result digests (``repro.telemetry``),
 * the store verifies clean (no torn or corrupt blocks).
 
 Exits non-zero on any violation.  Used by CI's warm-cache job::
@@ -17,6 +18,7 @@ Exits non-zero on any violation.  Used by CI's warm-cache job::
 """
 
 import argparse
+import os
 import sys
 import tempfile
 import time
@@ -56,30 +58,41 @@ def build_parser() -> argparse.ArgumentParser:
             "cold (default: report only)"
         ),
     )
+    parser.add_argument(
+        "--run-dir",
+        default=None,
+        help=(
+            "keep the cold/warm telemetry run records under this "
+            "directory (default: a temporary directory, discarded)"
+        ),
+    )
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     from repro.experiments import registry
+    from repro.telemetry import read_run
     from repro.traces.blockstore import BlockStore
 
     with tempfile.TemporaryDirectory(prefix="repro-cache-") as tmp:
-        cache_dir = args.cache_dir or tmp
+        cache_dir = args.cache_dir or os.path.join(tmp, "cache")
+        run_root = args.run_dir or os.path.join(tmp, "runs")
 
-        def run_pass():
+        def run_pass(label):
             config = registry.ExperimentConfig(
                 scale=args.scale,
                 seed=args.seed,
                 workers=args.workers,
                 cache_dir=cache_dir,
+                run_dir=os.path.join(run_root, label),
             )
             t0 = time.perf_counter()
             result = registry.run(args.experiment, config)
             return result, time.perf_counter() - t0
 
-        cold, cold_seconds = run_pass()
-        warm, warm_seconds = run_pass()
+        cold, cold_seconds = run_pass("cold")
+        warm, warm_seconds = run_pass("warm")
 
         failures = []
         for label, result in (("cold", cold), ("warm", warm)):
@@ -111,6 +124,20 @@ def main(argv=None) -> int:
             )
         else:
             print(f"metrics identical across passes: {warm.metrics}")
+
+        # Cross-check through the durable record: the run logs' result
+        # digests must agree too (what 'repro report diff' enforces).
+        digests = {
+            label: read_run(os.path.join(run_root, label))
+            .one("metrics")["result_digest"]
+            for label in ("cold", "warm")
+        }
+        if digests["cold"] != digests["warm"]:
+            failures.append(
+                f"run-log result digests differ: {digests}"
+            )
+        else:
+            print(f"run-log result digest: {digests['warm'][:16]}…")
 
         report = BlockStore(cache_dir).verify()
         if not report.ok:

@@ -8,8 +8,13 @@ parallel acquisition runtime::
 
     PYTHONPATH=src python scripts/run_full_experiments.py --workers 4
     PYTHONPATH=src python scripts/run_full_experiments.py --scale quick
+    PYTHONPATH=src python scripts/run_full_experiments.py \
+        --scale quick --run-dir runs/ --json-out results/report.json
 
 Results are deterministic in ``--seed`` regardless of ``--workers``.
+``--run-dir`` writes one telemetry run record per experiment (see
+:mod:`repro.telemetry`); ``--json-out`` emits a machine-readable
+per-experiment wall-time/cache report sourced from those run logs.
 """
 
 import argparse
@@ -61,6 +66,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="LRU size cap for the block cache (default: unlimited)",
     )
+    parser.add_argument(
+        "--run-dir",
+        default=None,
+        help=(
+            "write one telemetry run record per experiment under this "
+            "directory (manifest.json, run.jsonl, trace.json each); "
+            "compare with 'repro report diff'"
+        ),
+    )
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        help=(
+            "write a machine-readable per-experiment wall-time/cache "
+            "report to this path, sourced from the run logs when "
+            "--run-dir is set"
+        ),
+    )
     return parser
 
 
@@ -108,6 +131,41 @@ def _log_cache_report(report, log) -> None:
     )
 
 
+def _json_report(report, run_dir) -> dict:
+    """Machine-readable per-experiment wall-time/cache report.
+
+    With ``run_dir`` set, every entry is sourced from that experiment's
+    telemetry run log (the durable record), including the per-stage
+    split, throughput, peak RSS and result digest; otherwise it falls
+    back to the in-memory result metadata.
+    """
+    from repro.telemetry.report import summarize
+
+    out = {}
+    for name, entry in report.items():
+        row = {
+            "wall_seconds": entry["seconds"],
+            "metrics": entry["metrics"],
+            "cache": entry["metadata"].get("cache"),
+        }
+        if run_dir is not None:
+            summary = summarize(Path(run_dir) / name)
+            row.update(
+                run_dir=summary.run_dir,
+                manifest_hash=summary.manifest_hash,
+                result_digest=summary.result_digest,
+                n_items=summary.n_items,
+                items_per_second=round(summary.items_per_second, 2),
+                peak_rss_kb=summary.peak_rss_kb,
+                stage_seconds={
+                    k: round(v, 4) for k, v in summary.stage_seconds.items()
+                },
+                cache=summary.cache,
+            )
+        out[name] = row
+    return out
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     from repro.experiments import registry
@@ -140,6 +198,9 @@ def main(argv=None) -> int:
             progress=on_progress if args.progress else None,
             cache_dir=args.cache_dir,
             cache_max_bytes=args.cache_max_bytes,
+            run_dir=(
+                str(Path(args.run_dir) / name) if args.run_dir else None
+            ),
         )
         result = registry.run(name, config)
         for line in result.lines():
@@ -154,6 +215,12 @@ def main(argv=None) -> int:
     _log_cache_report(report, log)
     (OUT_DIR / "full_results.txt").write_text("\n".join(lines) + "\n")
     (OUT_DIR / "full_results.json").write_text(json.dumps(report, indent=2))
+    if args.json_out:
+        Path(args.json_out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.json_out).write_text(
+            json.dumps(_json_report(report, args.run_dir), indent=2) + "\n"
+        )
+        print(f"json report: {args.json_out}", flush=True)
     return 0
 
 

@@ -373,6 +373,14 @@ class StreamingPearson:
         self._s_xy = loaded["s_xy"]
         return self
 
+    def telemetry_counters(self) -> dict:
+        """Numeric progress counters for checkpoint telemetry spans."""
+        return {
+            "n_traces": self.n,
+            "n_vars": self.n_vars,
+            "n_samples": self.n_samples,
+        }
+
     def finalize(self) -> np.ndarray:
         """The ``(n_vars, n_samples)`` Pearson correlation matrix."""
         if self.n < 2:
@@ -445,6 +453,14 @@ class StreamingWelchT:
             mine.merge(theirs)
         return self
 
+    def telemetry_counters(self) -> dict:
+        """Numeric progress counters for checkpoint telemetry spans."""
+        return {
+            "n_fixed": self.n_fixed,
+            "n_random": self.n_random,
+            "n_samples": self.n_samples,
+        }
+
     def finalize(self) -> np.ndarray:
         """Per-sample Welch t statistics, ``(n_samples,)``."""
         fixed, rand = self._classes
@@ -505,6 +521,14 @@ class StreamingDiffMeans:
         self._count += other._count
         self._sums += other._sums
         return self
+
+    def telemetry_counters(self) -> dict:
+        """Numeric progress counters for checkpoint telemetry spans."""
+        return {
+            "n_traces": self.n,
+            "n_vars": self.n_vars,
+            "n_samples": self.n_samples,
+        }
 
     def finalize(self) -> np.ndarray:
         """The ``(n_vars, n_samples)`` difference-of-means matrix."""

@@ -103,6 +103,10 @@ class CPAAttack:
         """Traces accumulated so far."""
         return self._byte_corr[0].n
 
+    def telemetry_counters(self) -> dict:
+        """Numeric progress counters for checkpoint telemetry spans."""
+        return {"n_traces": self.n_traces, "n_samples": self.n_samples}
+
     # ------------------------------------------------------------------
     def add_traces(self, traces: np.ndarray, ciphertexts: np.ndarray) -> None:
         """Accumulate a batch of traces and their ciphertexts."""

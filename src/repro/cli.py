@@ -6,7 +6,10 @@ Usage::
     python -m repro.cli fig3
     python -m repro.cli table1 --workers 4 --progress
     python -m repro.cli fig5 --cache-dir ~/.cache/repro-blocks
+    python -m repro.cli fig5 --run-dir runs/a --trace-out trace.json
     python -m repro.cli cache stats --cache-dir ~/.cache/repro-blocks
+    python -m repro.cli report summary runs/a
+    python -m repro.cli report diff runs/a runs/b
     REPRO_FULL=1 python -m repro.cli all
 
 Experiments are resolved through :mod:`repro.experiments.registry` and
@@ -15,7 +18,9 @@ Results are deterministic in ``--seed`` at any ``--workers`` count, and
 — when ``--cache-dir`` (or ``REPRO_CACHE_DIR``) enables the trace block
 cache — independent of cache state: a warm cache only changes wall
 clock.  The ``cache`` subcommand inspects and maintains a store
-(``stats`` / ``verify`` / ``clear``).
+(``stats`` / ``verify`` / ``clear``); the ``report`` subcommand
+summarizes a telemetry run directory (``--run-dir``) and diffs two runs
+with threshold-based regression verdicts.
 """
 
 from __future__ import annotations
@@ -94,6 +99,25 @@ def build_parser() -> argparse.ArgumentParser:
             "unfused oracle path)"
         ),
     )
+    parser.add_argument(
+        "--run-dir",
+        default=None,
+        help=(
+            "write the telemetry run record (manifest.json, run.jsonl, "
+            "trace.json) into this directory ('all' nests one "
+            "subdirectory per experiment); compare records with "
+            "'repro report diff'"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help=(
+            "export the run's span tree as a Chrome trace-event file "
+            "loadable in Perfetto (https://ui.perfetto.dev) or "
+            "chrome://tracing"
+        ),
+    )
     _add_cache_arguments(parser)
     return parser
 
@@ -166,6 +190,82 @@ def _cache_main(argv) -> int:
     return 0
 
 
+def build_report_parser() -> argparse.ArgumentParser:
+    """Parser of the ``report`` run-telemetry subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro report",
+        description=(
+            "Summarize a telemetry run directory (written with "
+            "--run-dir) or diff two runs with threshold-based "
+            "regression verdicts."
+        ),
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+    summary = sub.add_parser(
+        "summary", help="print wall time, stage split, cache and metrics"
+    )
+    summary.add_argument("run_dir", help="run directory (manifest + run.jsonl)")
+    diff = sub.add_parser(
+        "diff",
+        help=(
+            "compare candidate run B against baseline run A; exits "
+            "non-zero on a regression or on differing results"
+        ),
+    )
+    diff.add_argument("run_a", help="baseline run directory (A)")
+    diff.add_argument("run_b", help="candidate run directory (B)")
+    diff.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="relative slowdown that counts as a regression (default 0.2)",
+    )
+    diff.add_argument(
+        "--min-seconds",
+        type=float,
+        default=None,
+        help=(
+            "ignore stages under this many seconds in both runs "
+            "(default 0.05; timer jitter)"
+        ),
+    )
+    return parser
+
+
+def _report_main(argv) -> int:
+    """The ``repro report summary|diff`` telemetry entry."""
+    args = build_report_parser().parse_args(argv)
+    from repro.errors import ReproError
+    from repro.telemetry import report as report_mod
+    from repro.telemetry.report import diff_runs, summarize
+
+    try:
+        if args.action == "summary":
+            for line in summarize(args.run_dir).lines():
+                print(line)
+            return 0
+        result = diff_runs(
+            args.run_a,
+            args.run_b,
+            threshold=(
+                args.threshold
+                if args.threshold is not None
+                else report_mod.DEFAULT_THRESHOLD
+            ),
+            min_seconds=(
+                args.min_seconds
+                if args.min_seconds is not None
+                else report_mod.DEFAULT_MIN_SECONDS
+            ),
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for line in result.lines():
+        print(line)
+    return 0 if result.ok else 1
+
+
 def _progress_printer(name: str):
     def on_progress(event) -> None:
         detail = f"  {event.detail}" if event.detail else ""
@@ -177,7 +277,7 @@ def _progress_printer(name: str):
     return on_progress
 
 
-def _run_one(name: str, args) -> None:
+def _run_one(name: str, args, run_dir=None, trace_out=None) -> None:
     from repro.experiments import registry
 
     spec = registry.get(name)
@@ -190,6 +290,8 @@ def _run_one(name: str, args) -> None:
         progress=_progress_printer(name) if args.progress else None,
         cache_dir=args.cache_dir,
         cache_max_bytes=args.cache_max_bytes,
+        run_dir=run_dir,
+        trace_out=trace_out,
     )
     result = registry.run(name, config)
     print(spec.title)
@@ -206,6 +308,10 @@ def _run_one(name: str, args) -> None:
             f"read={cache['bytes_read'] / 1e6:.1f}MB "
             f"written={cache['bytes_written'] / 1e6:.1f}MB"
         )
+    if result.metadata.get("run_dir"):
+        print(f"run record: {result.metadata['run_dir']}")
+    if result.metadata.get("trace_out"):
+        print(f"perfetto trace: {result.metadata['trace_out']}")
     print(
         f"[{name}] scale={config.scale} seed={config.seed} "
         f"workers={config.workers} in {result.seconds:.1f}s"
@@ -219,6 +325,8 @@ def main(argv=None) -> int:
         # Maintenance subcommand; dispatched before the main parser so
         # the 'experiment' positional does not swallow it.
         return _cache_main(argv[1:])
+    if argv and argv[0] == "report":
+        return _report_main(argv[1:])
     args = build_parser().parse_args(argv)
     from repro.errors import ReproError
     from repro.experiments import registry
@@ -238,7 +346,12 @@ def main(argv=None) -> int:
             t0 = time.time()
             for name in known:
                 print(f"\n===== {name} =====")
-                _run_one(name, args)
+                # One run record per experiment (a run directory
+                # describes exactly one run).
+                run_dir = (
+                    os.path.join(args.run_dir, name) if args.run_dir else None
+                )
+                _run_one(name, args, run_dir=run_dir)
             print(f"\nall experiments done in {time.time() - t0:.0f}s")
             return 0
         if args.experiment not in known:
@@ -247,7 +360,10 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 2
-        _run_one(args.experiment, args)
+        _run_one(
+            args.experiment, args,
+            run_dir=args.run_dir, trace_out=args.trace_out,
+        )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

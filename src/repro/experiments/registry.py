@@ -32,6 +32,7 @@ import os
 import time
 import warnings
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
@@ -83,6 +84,16 @@ class ExperimentConfig:
     options:
         Per-experiment parameter overrides, merged over the
         scale-derived defaults (e.g. ``{"n_traces": 10_000}``).
+    run_dir:
+        When set, :func:`run` writes the run's telemetry record there:
+        ``manifest.json`` (config identity + environment) and
+        ``run.jsonl`` (structured span/metrics/cache events — see
+        :mod:`repro.telemetry.runlog`).  Telemetry recording itself is
+        always on (spans are cheap plain dataclasses); this only
+        controls whether the record is persisted.
+    trace_out:
+        When set, :func:`run` exports the run's span tree as a Chrome
+        trace-event file loadable in Perfetto / ``chrome://tracing``.
     """
 
     scale: str = "paper"
@@ -94,6 +105,8 @@ class ExperimentConfig:
     cache_dir: Optional[str] = None
     cache_max_bytes: Optional[int] = None
     options: Dict[str, Any] = field(default_factory=dict)
+    run_dir: Optional[str] = None
+    trace_out: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.scale not in SCALES:
@@ -233,13 +246,23 @@ def run(
     config: Optional[ExperimentConfig] = None,
     engine: Optional[Engine] = None,
 ) -> ExperimentResult:
-    """Run one experiment through the uniform protocol."""
+    """Run one experiment through the uniform protocol.
+
+    The whole run is recorded as one ``run.<name>`` telemetry span on
+    the engine's recorder; the engine campaigns the runner launches nest
+    under it.  With ``config.run_dir`` set, the manifest + JSONL run log
+    are written there afterwards; with ``config.trace_out`` set, the
+    span tree is exported as a Chrome/Perfetto trace.
+    """
     spec = get(name)
     config = config or ExperimentConfig()
     engine = engine or config.make_engine()
     cache_before = dict(engine.cache_totals)
     t0 = time.perf_counter()
-    payload = spec.runner(config, engine)
+    with engine.telemetry.span(
+        f"run.{name}", experiment=name, scale=config.scale, seed=config.seed
+    ) as run_span:
+        payload = spec.runner(config, engine)
     seconds = time.perf_counter() - t0
     metadata = {
         "scale": config.scale,
@@ -248,6 +271,7 @@ def run(
         "chunk_size": config.chunk_size,
         "options": dict(config.options),
     }
+    cache = None
     if engine.cache is not None:
         # This experiment's own cache activity (the engine may be
         # shared across experiments, so report the delta).
@@ -258,13 +282,63 @@ def run(
         lookups = cache["hits"] + cache["misses"]
         cache["hit_rate"] = round(cache["hits"] / lookups, 4) if lookups else 0.0
         metadata["cache"] = cache
-    return ExperimentResult(
+    result = ExperimentResult(
         name=name,
         payload=payload,
         metrics=spec.metrics(payload),
         metadata=metadata,
         seconds=seconds,
     )
+    if config.run_dir or config.trace_out:
+        _persist_run(name, config, engine, run_span, result, cache)
+    return result
+
+
+def _persist_run(
+    name: str,
+    config: ExperimentConfig,
+    engine: Engine,
+    run_span,
+    result: ExperimentResult,
+    cache: Optional[Dict[str, Any]],
+) -> None:
+    """Write the run directory (manifest + JSONL log) and/or trace."""
+    from repro.telemetry import (
+        TRACE_FILE,
+        build_manifest,
+        write_chrome_trace,
+        write_run_log,
+    )
+
+    n_items = int(
+        sum(rec.counter("items") for rec in run_span.children)
+    )
+    if config.run_dir:
+        manifest = build_manifest(
+            name,
+            scale=config.scale,
+            seed=config.seed,
+            workers=engine.workers,
+            shard_size=config.shard_size,
+            chunk_size=config.chunk_size,
+            options=config.options,
+        )
+        write_run_log(
+            config.run_dir,
+            manifest=manifest,
+            roots=[run_span],
+            metrics=result.metrics,
+            cache=dict(enabled=True, **cache) if cache else None,
+            wall_seconds=result.seconds,
+            n_items=n_items,
+        )
+        result.metadata["run_dir"] = str(config.run_dir)
+    trace_out = config.trace_out
+    if config.run_dir and not trace_out:
+        trace_out = str(Path(config.run_dir) / TRACE_FILE)
+    if trace_out:
+        write_chrome_trace(trace_out, [run_span])
+        result.metadata["trace_out"] = str(trace_out)
 
 
 def protocol_entry(name: str, legacy_fn: Callable) -> Callable:

@@ -3,12 +3,18 @@
 Campaign throughput questions ("where did the cores go", "is the PDN
 filter or the sensor model the ceiling") used to be answered by ad-hoc
 ``timings`` dicts threaded through ``acquire_block``.  This module
-replaces them with a small structured accumulator:
+answers them with spans: every ``stage()`` call records one
+:class:`~repro.telemetry.spans.SpanRecord` — start timestamp, wall
+seconds, bytes/items/calls counters — and the familiar aggregate views
+(:class:`StageStats`, ``stage_seconds()``, ``summary()``) are computed
+*from those records*, so the profile, the JSONL run log and the
+Perfetto trace can never disagree.
 
-* :class:`StageStats` — wall seconds, bytes of arrays produced, items
-  processed and call count for one pipeline stage;
-* :class:`StageProfile` — an ordered collection of stages with a
-  context-manager recording API, mergeable across shards.
+* :class:`StageStats` — aggregated wall seconds, bytes of arrays
+  produced, items processed and call count for one pipeline stage (a
+  view over span records, not separate bookkeeping);
+* :class:`StageProfile` — the per-shard recorder with a
+  context-manager API, mergeable across shards.
 
 Byte accounting is deliberately *deterministic*: a stage reports the
 ``nbytes`` of the arrays it materializes (via :meth:`StageAccount.
@@ -22,19 +28,43 @@ Usage::
         droop = per_cycle @ basis
         acct.account(droop)
     print(profile.summary())
+
+For regression-fixture testing only, ``REPRO_INJECT_STAGE_SLEEP``
+(``"stage:seconds[,stage:seconds]"``) injects a synthetic sleep into
+the named stages — CI's ``telemetry-regression`` job uses it to prove
+``repro report diff`` catches a slowdown.  Unset (the default) it costs
+one dict lookup per profile.
 """
 
 from __future__ import annotations
 
+import os
 import time
+import warnings
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Dict, Iterator
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.telemetry.spans import SpanRecord
+
+
+def _injected_sleeps() -> Dict[str, float]:
+    """Parse the test-only stage-sleep injection env var."""
+    spec = os.environ.get("REPRO_INJECT_STAGE_SLEEP", "")
+    sleeps: Dict[str, float] = {}
+    for part in spec.split(","):
+        if ":" in part:
+            name, _, seconds = part.partition(":")
+            try:
+                sleeps[name.strip()] = float(seconds)
+            except ValueError:
+                continue
+    return sleeps
 
 
 @dataclass
 class StageStats:
-    """Accumulated cost of one pipeline stage."""
+    """Aggregated cost of one pipeline stage (a view over spans)."""
 
     seconds: float = 0.0
     #: Bytes of result arrays materialized by the stage.
@@ -45,8 +75,8 @@ class StageStats:
 
     @property
     def items_per_second(self) -> float:
-        """Stage throughput (items/sec over the stage's own wall time)."""
-        return self.items / self.seconds if self.seconds > 0 else float("inf")
+        """Stage throughput (``0.0`` when no time was recorded)."""
+        return self.items / self.seconds if self.seconds > 0 else 0.0
 
     def merge(self, other: "StageStats") -> "StageStats":
         """Fold another stage's totals into this one (in place)."""
@@ -63,9 +93,7 @@ class StageStats:
             "nbytes": self.nbytes,
             "items": self.items,
             "calls": self.calls,
-            "items_per_second": (
-                self.items / self.seconds if self.seconds > 0 else 0.0
-            ),
+            "items_per_second": self.items_per_second,
         }
 
 
@@ -83,33 +111,80 @@ class StageAccount:
             self.nbytes += int(array.nbytes)
 
 
-class StageProfile:
-    """Ordered per-stage cost accumulator for one acquisition pipeline.
+def stats_from_spans(records: List[SpanRecord]) -> Dict[str, StageStats]:
+    """Aggregate span records into per-stage stats, first-seen order."""
+    stages: Dict[str, StageStats] = {}
+    for rec in records:
+        stats = stages.get(rec.name)
+        if stats is None:
+            stats = stages[rec.name] = StageStats()
+        stats.seconds += rec.seconds
+        stats.nbytes += int(rec.counter("nbytes"))
+        stats.items += int(rec.counter("items"))
+        stats.calls += int(rec.counter("calls", 1))
+    return stages
 
-    Stages appear in first-recorded order (the pipeline order), and two
-    profiles from different shards merge commutatively, so the engine
-    can sum worker-side profiles into campaign totals.
+
+def profile_from_timings(timings: Dict[str, float]) -> "StageProfile":
+    """Deprecated: lift a legacy ``{stage: seconds}`` timings dict into
+    a :class:`StageProfile`.
+
+    Timing dicts predate the span API; construct a profile and record
+    through :meth:`StageProfile.stage` / :meth:`StageProfile.add`
+    instead — spans carry bytes, items and timeline position, which a
+    bare dict cannot.
+    """
+    warnings.warn(
+        "passing raw timings dicts is deprecated; record stages through "
+        "the span API (StageProfile.stage()/add(), repro.telemetry)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    profile = StageProfile()
+    for name, seconds in timings.items():
+        profile.add(name, float(seconds))
+    return profile
+
+
+class StageProfile:
+    """Span-backed per-stage cost recorder for one acquisition pipeline.
+
+    Every :meth:`stage`/:meth:`add` call appends one span record;
+    :attr:`stages` and the derived dict views aggregate them by name in
+    first-recorded order (the pipeline order).  Two profiles from
+    different shards merge commutatively at the aggregate level, so the
+    engine can sum worker-side profiles into campaign totals, and
+    :meth:`to_span` lifts the records into the run's span tree.
     """
 
     def __init__(self) -> None:
-        self.stages: Dict[str, StageStats] = {}
+        self.records: List[SpanRecord] = []
+        self._inject = _injected_sleeps()
 
-    def _get(self, name: str) -> StageStats:
-        stats = self.stages.get(name)
-        if stats is None:
-            stats = self.stages[name] = StageStats()
-        return stats
+    @property
+    def stages(self) -> Dict[str, StageStats]:
+        """Per-stage aggregate view over the recorded spans."""
+        return stats_from_spans(self.records)
 
     @contextmanager
     def stage(self, name: str, items: int = 0) -> Iterator[StageAccount]:
         """Time a stage; the yielded handle records produced bytes."""
         acct = StageAccount()
+        start = time.time()
         t0 = time.perf_counter()
         try:
             yield acct
         finally:
-            seconds = time.perf_counter() - t0
-            self.add(name, seconds, nbytes=acct.nbytes, items=items)
+            if self._inject:
+                time.sleep(self._inject.get(name, 0.0))
+            self.records.append(
+                SpanRecord(
+                    name=name,
+                    start=start,
+                    seconds=time.perf_counter() - t0,
+                    counters={"nbytes": acct.nbytes, "items": items, "calls": 1},
+                )
+            )
 
     def add(
         self,
@@ -119,24 +194,45 @@ class StageProfile:
         items: int = 0,
         calls: int = 1,
     ) -> None:
-        """Accumulate one stage observation directly."""
-        stats = self._get(name)
-        stats.seconds += seconds
-        stats.nbytes += nbytes
-        stats.items += items
-        stats.calls += calls
+        """Record one stage observation directly."""
+        self.records.append(
+            SpanRecord(
+                name=name,
+                start=time.time(),
+                seconds=seconds,
+                counters={"nbytes": nbytes, "items": items, "calls": calls},
+            )
+        )
 
     def merge(self, other: "StageProfile") -> "StageProfile":
-        """Fold another profile's stages into this one (in place)."""
-        for name, stats in other.stages.items():
-            self._get(name).merge(stats)
+        """Fold another profile's records into this one (in place)."""
+        self.records.extend(other.records)
         return self
+
+    def to_span(
+        self,
+        name: str,
+        *,
+        start: float,
+        seconds: float,
+        attrs: Optional[Dict[str, object]] = None,
+        counters: Optional[Dict[str, float]] = None,
+    ) -> SpanRecord:
+        """Lift this profile into one parent span with stage children."""
+        return SpanRecord(
+            name=name,
+            start=start,
+            seconds=seconds,
+            attrs=dict(attrs or {}),
+            counters=dict(counters or {}),
+            children=list(self.records),
+        )
 
     # -- views -----------------------------------------------------------
     @property
     def total_seconds(self) -> float:
         """Summed wall seconds across stages."""
-        return sum(s.seconds for s in self.stages.values())
+        return sum(rec.seconds for rec in self.records)
 
     def stage_seconds(self) -> Dict[str, float]:
         """``{stage: seconds}`` (the historical ``timings`` dict shape)."""

@@ -44,6 +44,7 @@ from repro.kernels import StageProfile
 from repro.pdn.coupling import CouplingModel
 from repro.pdn.noise import NoiseModel
 from repro.runtime.metrics import EngineMetrics, ShardMetrics
+from repro.telemetry.spans import SpanRecord, Telemetry
 from repro.runtime.sharding import (
     SeedLike,
     Shard,
@@ -115,8 +116,10 @@ def _acquire_or_replay(
     block file: consumers stream from the page cache without a copy.
     """
     if store is not None:
-        with profile.stage("cache", items=shard.size):
+        with profile.stage("cache", items=shard.size) as acct:
             block = store.get(key)
+            if block is not None:
+                acct.nbytes += block.nbytes
         if block is not None:
             a = block.arrays
             return a["traces"], a["pts"], a["cts"], "hit", block.nbytes
@@ -126,15 +129,57 @@ def _acquire_or_replay(
         aes, shard_pts, rng, n_samples, profile=profile
     )
     if store is not None:
-        with profile.stage("cache", items=shard.size):
+        with profile.stage("cache", items=shard.size) as acct:
             before = store.counters.bytes_written
             store.put(
                 key,
                 {"traces": readouts, "pts": shard_pts, "cts": shard_cts},
                 meta={"lineage": seed_lineage(seed_seq), "block_items": shard.size},
             )
+            acct.nbytes += store.counters.bytes_written - before
         return readouts, shard_pts, shard_cts, "miss", store.counters.bytes_written - before
     return readouts, shard_pts, shard_cts, "", 0
+
+
+def _shard_metrics(
+    shard: Shard,
+    profile: StageProfile,
+    start: float,
+    seconds: float,
+    cache: str,
+    cache_nbytes: int,
+) -> ShardMetrics:
+    """Lift a shard's profile into its span subtree + metrics view."""
+    span = profile.to_span(
+        "shard",
+        start=start,
+        seconds=seconds,
+        attrs={"shard": shard.index, "cache": cache},
+        counters={"items": shard.size, "cache_nbytes": cache_nbytes},
+    )
+    return ShardMetrics(
+        shard_index=shard.index,
+        n_items=shard.size,
+        seconds=seconds,
+        span=span,
+        cache=cache,
+        cache_nbytes=cache_nbytes,
+    )
+
+
+def _checkpoint_event(n_traces: int, consumer: object) -> SpanRecord:
+    """A zero-duration checkpoint span, carrying the accumulator's
+    state counters when the consumer exposes them."""
+    counters: Dict[str, float] = {"n_traces": float(n_traces)}
+    get = getattr(consumer, "telemetry_counters", None)
+    if callable(get):
+        counters.update(get())
+    return SpanRecord(
+        name="checkpoint",
+        start=time.time(),
+        attrs={"n_traces": int(n_traces)},
+        counters=counters,
+    )
 
 
 def _run_collect_shard(
@@ -149,6 +194,7 @@ def _run_collect_shard(
     store: Optional[BlockStore] = None,
     key: Optional[str] = None,
 ) -> ShardMetrics:
+    start = time.time()
     t0 = time.perf_counter()
     profile = StageProfile()
     readouts, shard_pts, shard_cts, cache, cache_nbytes = _acquire_or_replay(
@@ -157,14 +203,8 @@ def _run_collect_shard(
     traces[shard.slice] = readouts
     pts[shard.slice] = shard_pts
     cts[shard.slice] = shard_cts
-    return ShardMetrics(
-        shard_index=shard.index,
-        n_items=shard.size,
-        seconds=time.perf_counter() - t0,
-        stage_seconds=profile.stage_seconds(),
-        stage_nbytes=profile.stage_nbytes(),
-        cache=cache,
-        cache_nbytes=cache_nbytes,
+    return _shard_metrics(
+        shard, profile, start, time.perf_counter() - t0, cache, cache_nbytes
     )
 
 
@@ -196,6 +236,7 @@ def _run_stream_shard(
     page-cache-backed views, exactly the peak-memory story of live
     streaming.
     """
+    start = time.time()
     t0 = time.perf_counter()
     profile = StageProfile()
     readouts, _shard_pts, shard_cts, cache, cache_nbytes = _acquire_or_replay(
@@ -204,22 +245,17 @@ def _run_stream_shard(
     cuts = [b - shard.start for b in boundaries if shard.start < b < shard.stop]
     edges = [0, *cuts, shard.size]
     segments: List[Tuple[int, object]] = []
-    for lo, hi in zip(edges, edges[1:]):
-        part = consumer_factory()
-        for sl in iter_chunk_slices(hi - lo, chunk_size):
-            part.update(
-                readouts[lo + sl.start : lo + sl.stop],
-                shard_cts[lo + sl.start : lo + sl.stop],
-            )
-        segments.append((shard.start + hi, part))
-    metrics = ShardMetrics(
-        shard_index=shard.index,
-        n_items=shard.size,
-        seconds=time.perf_counter() - t0,
-        stage_seconds=profile.stage_seconds(),
-        stage_nbytes=profile.stage_nbytes(),
-        cache=cache,
-        cache_nbytes=cache_nbytes,
+    with profile.stage("accumulate", items=shard.size):
+        for lo, hi in zip(edges, edges[1:]):
+            part = consumer_factory()
+            for sl in iter_chunk_slices(hi - lo, chunk_size):
+                part.update(
+                    readouts[lo + sl.start : lo + sl.stop],
+                    shard_cts[lo + sl.start : lo + sl.stop],
+                )
+            segments.append((shard.start + hi, part))
+    metrics = _shard_metrics(
+        shard, profile, start, time.perf_counter() - t0, cache, cache_nbytes
     )
     return metrics, segments
 
@@ -234,6 +270,7 @@ def _run_characterize_shard(
     store: Optional[BlockStore] = None,
     key: Optional[str] = None,
 ) -> ShardMetrics:
+    start = time.time()
     t0 = time.perf_counter()
     profile = StageProfile()
     cache, cache_nbytes = "", 0
@@ -259,14 +296,8 @@ def _run_characterize_shard(
                     meta={"lineage": seed_lineage(seed_seq)},
                 )
             cache, cache_nbytes = "miss", store.counters.bytes_written - before
-    return ShardMetrics(
-        shard_index=shard.index,
-        n_items=shard.size,
-        seconds=time.perf_counter() - t0,
-        stage_seconds=profile.stage_seconds(),
-        stage_nbytes=profile.stage_nbytes(),
-        cache=cache,
-        cache_nbytes=cache_nbytes,
+    return _shard_metrics(
+        shard, profile, start, time.perf_counter() - t0, cache, cache_nbytes
     )
 
 
@@ -432,6 +463,14 @@ class Engine:
         live.  Cached blocks are bit-identical to live acquisition by
         construction, so results never depend on cache state — a warm
         store only removes the sensor-pipeline cost of shards it holds.
+    telemetry:
+        Span recorder (:class:`~repro.telemetry.spans.Telemetry`) the
+        engine attaches each campaign's span tree to; a private one is
+        created when omitted.  The tree (``engine.<kind>`` -> shard ->
+        stage/cache spans, plus checkpoint events) is also available on
+        ``last_metrics.span``.  Shard subtrees are grafted in
+        shard-index order, so the tree's structure is identical at any
+        worker count.
     """
 
     def __init__(
@@ -440,6 +479,7 @@ class Engine:
         shard_size: int = 4096,
         progress: Optional[ProgressFn] = None,
         cache: Union[None, str, "BlockStore"] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
@@ -448,6 +488,7 @@ class Engine:
         self.workers = workers
         self.shard_size = shard_size
         self.progress = progress
+        self.telemetry = telemetry or Telemetry()
         self.cache = open_store(cache)
         #: Metrics of the most recent run (:class:`EngineMetrics`).
         self.last_metrics: Optional[EngineMetrics] = None
@@ -465,10 +506,32 @@ class Engine:
         lookups = self.cache_totals["hits"] + self.cache_totals["misses"]
         return self.cache_totals["hits"] / lookups if lookups else 0.0
 
-    def _finish_metrics(self, metrics: EngineMetrics, t0: float) -> EngineMetrics:
-        """Sort shards, stamp the wall clock, fold cache totals."""
+    def _finish_metrics(
+        self,
+        metrics: EngineMetrics,
+        t0: float,
+        start: float = 0.0,
+        events: Sequence[SpanRecord] = (),
+    ) -> EngineMetrics:
+        """Sort shards, stamp the wall clock, fold cache totals, and
+        assemble the campaign span tree (shard-index order — identical
+        structure at any worker count)."""
         metrics.shards.sort(key=lambda s: s.shard_index)
         metrics.wall_seconds = time.perf_counter() - t0
+        metrics.span = SpanRecord(
+            name=f"engine.{metrics.kind}",
+            start=start,
+            seconds=metrics.wall_seconds,
+            attrs={
+                "n_items": metrics.n_items,
+                "n_shards": metrics.n_shards,
+                "workers": metrics.workers,
+            },
+            counters={"items": metrics.n_items},
+            children=[s.span for s in metrics.shards if s.span is not None]
+            + list(events),
+        )
+        self.telemetry.attach(metrics.span)
         self.cache_totals["hits"] += metrics.cache_hits
         self.cache_totals["misses"] += metrics.cache_misses
         self.cache_totals["bytes_read"] += metrics.cache_bytes_read
@@ -537,6 +600,7 @@ class Engine:
             n_shards=len(shards),
             workers=min(self.workers, len(shards)),
         )
+        start = time.time()
         t0 = time.perf_counter()
         if self.workers == 1:
             done = 0
@@ -561,7 +625,7 @@ class Engine:
                     metrics.shards.append(sm)
                     done += futures[future].size
                     self._emit(kind, done, n_items, sm)
-        return self._finish_metrics(metrics, t0)
+        return self._finish_metrics(metrics, t0, start)
 
     # ------------------------------------------------------------------
     def collect(
@@ -772,6 +836,7 @@ class Engine:
         checkpoint_set = set(boundaries)
         pending: Dict[int, List[Tuple[int, object]]] = {}
         next_index = 0
+        events: List[SpanRecord] = []
 
         metrics = EngineMetrics(
             kind="stream",
@@ -779,6 +844,7 @@ class Engine:
             n_shards=len(shards),
             workers=min(self.workers, len(shards)),
         )
+        start = time.time()
         t0 = time.perf_counter()
 
         def fold_ready() -> None:
@@ -798,8 +864,10 @@ class Engine:
                             master.state_arrays(),
                             meta={"kind": "attack-state", "n_traces": end},
                         )
-                    if end in checkpoint_set and on_checkpoint is not None:
-                        on_checkpoint(end, master)
+                    if end in checkpoint_set:
+                        events.append(_checkpoint_event(end, master))
+                        if on_checkpoint is not None:
+                            on_checkpoint(end, master)
                 next_index += 1
 
         if self.workers == 1:
@@ -836,7 +904,7 @@ class Engine:
                     fold_ready()
                     done += futures[future].size
                     self._emit("stream", done, n_traces, sm)
-        self._finish_metrics(metrics, t0)
+        self._finish_metrics(metrics, t0, start, events)
         return master
 
     def _replay_attack_states(
@@ -870,28 +938,36 @@ class Engine:
             n_shards=len(snap_points),
             workers=1,
         )
+        start = time.time()
         t0 = time.perf_counter()
         done = 0
+        events: List[SpanRecord] = []
         for index, end in enumerate(snap_points):
+            state_start = time.time()
             t_state = time.perf_counter()
             block = blocks[end]
             master.load_state_arrays(block.arrays)
             seconds = time.perf_counter() - t_state
-            sm = ShardMetrics(
-                shard_index=index,
-                n_items=end - done,
-                seconds=seconds,
-                stage_seconds={"cache": seconds},
-                stage_nbytes={"cache": block.nbytes},
-                cache="hit",
-                cache_nbytes=block.nbytes,
+            profile = StageProfile()
+            profile.add(
+                "cache", seconds, nbytes=block.nbytes, items=end - done
+            )
+            sm = _shard_metrics(
+                Shard(index=index, start=done, stop=end),
+                profile,
+                state_start,
+                seconds,
+                "hit",
+                block.nbytes,
             )
             metrics.shards.append(sm)
             done = end
-            if end in checkpoint_set and on_checkpoint is not None:
-                on_checkpoint(end, master)
+            if end in checkpoint_set:
+                events.append(_checkpoint_event(end, master))
+                if on_checkpoint is not None:
+                    on_checkpoint(end, master)
             self._emit("stream", done, n_traces, sm)
-        self._finish_metrics(metrics, t0)
+        self._finish_metrics(metrics, t0, start, events)
         return master
 
     # ------------------------------------------------------------------

@@ -1,34 +1,39 @@
-"""Per-shard and aggregate timing/throughput metrics.
+"""Per-shard and aggregate timing/throughput metrics — span views.
 
-Every shard reports its wall time plus a stage split (sensor sampling
-vs. AES vs. PDN filtering) recorded by the kernel layer's
-:class:`repro.kernels.StageProfile`, so a campaign's bottleneck is
-visible without profiling: ``EngineMetrics.stage_totals()`` answers
-"where did the cores go" and ``stage_nbytes_totals()`` answers "where
-did the memory bandwidth go".  Shard seconds are measured inside the
-worker; the aggregate wall clock is measured by the engine around the
-whole run, so ``sum(shard seconds) / wall_seconds`` approximates the
-achieved parallelism.
+Every shard carries the span subtree its worker recorded
+(:class:`~repro.telemetry.spans.SpanRecord`: the shard span with one
+child per kernel stage / cache lookup), and every number these classes
+report — stage splits, byte totals, cache hit rates — is *derived from
+those spans*, never kept as parallel bookkeeping.  The engine grafts
+the shard subtrees into one campaign span (``EngineMetrics.span``) in
+shard-index order, which is what the run log flattens and the Perfetto
+export draws.
+
+Shard seconds are measured inside the worker; the aggregate wall clock
+is measured by the engine around the whole run, so ``sum(shard seconds)
+/ wall_seconds`` approximates the achieved parallelism.  Throughputs
+report ``0.0`` (never ``inf``) when no time was recorded, so
+sub-millisecond shards stay finite in logs and JSONL output.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
+
+from repro.telemetry.spans import SpanRecord
 
 
 @dataclass(frozen=True)
 class ShardMetrics:
-    """Timing of one completed shard."""
+    """Timing of one completed shard (a view over its span subtree)."""
 
     shard_index: int
     n_items: int
     seconds: float
-    #: Wall seconds per pipeline stage ("aes", "pdn", "sensor").
-    stage_seconds: Dict[str, float] = field(default_factory=dict)
-    #: Bytes of result arrays materialized per stage (deterministic
-    #: byte accounting from :class:`repro.kernels.StageProfile`).
-    stage_nbytes: Dict[str, int] = field(default_factory=dict)
+    #: The shard's span subtree: one child span per pipeline stage
+    #: ("aes", "pdn", "sensor", "cache"), recorded by the worker.
+    span: Optional[SpanRecord] = None
     #: Block-cache outcome for this shard: ``"hit"`` (served from the
     #: store), ``"miss"`` (acquired and published) or ``""`` (cache off).
     cache: str = ""
@@ -36,25 +41,50 @@ class ShardMetrics:
     cache_nbytes: int = 0
 
     @property
+    def stage_seconds(self) -> Dict[str, float]:
+        """Wall seconds per pipeline stage, derived from the span."""
+        if self.span is None:
+            return {}
+        totals: Dict[str, float] = {}
+        for rec in self.span.children:
+            totals[rec.name] = totals.get(rec.name, 0.0) + rec.seconds
+        return totals
+
+    @property
+    def stage_nbytes(self) -> Dict[str, int]:
+        """Bytes of result arrays materialized per stage (deterministic
+        byte accounting), derived from the span counters."""
+        if self.span is None:
+            return {}
+        totals: Dict[str, int] = {}
+        for rec in self.span.children:
+            totals[rec.name] = totals.get(rec.name, 0) + int(rec.counter("nbytes"))
+        return totals
+
+    @property
     def items_per_second(self) -> float:
-        """Shard throughput (traces/sec or readouts/sec)."""
-        return self.n_items / self.seconds if self.seconds > 0 else float("inf")
+        """Shard throughput (``0.0`` when no time was recorded)."""
+        return self.n_items / self.seconds if self.seconds > 0 else 0.0
 
     def summary(self) -> str:
         """One human-readable line (used as progress-event detail)."""
         parts = []
+        nbytes_by_stage = self.stage_nbytes
         for stage, seconds in self.stage_seconds.items():
             part = f"{stage} {seconds:.3f}s"
-            nbytes = self.stage_nbytes.get(stage, 0)
+            nbytes = nbytes_by_stage.get(stage, 0)
             if nbytes:
                 part += f"/{nbytes / 1e6:.0f}MB"
             parts.append(part)
         if self.cache:
             parts.append(f"cache {self.cache} {self.cache_nbytes / 1e6:.1f}MB")
         split = f" ({', '.join(parts)})" if parts else ""
+        rate = (
+            f"{self.items_per_second:,.0f}/s" if self.seconds > 0 else "n/a"
+        )
         return (
             f"shard {self.shard_index}: {self.n_items} items in "
-            f"{self.seconds:.3f}s ({self.items_per_second:,.0f}/s){split}"
+            f"{self.seconds:.3f}s ({rate}){split}"
         )
 
 
@@ -68,11 +98,14 @@ class EngineMetrics:
     workers: int
     wall_seconds: float = 0.0
     shards: List[ShardMetrics] = field(default_factory=list)
+    #: The campaign's span tree: the ``engine.<kind>`` root with shard
+    #: subtrees (shard-index order) and checkpoint events as children.
+    span: Optional[SpanRecord] = None
 
     @property
     def items_per_second(self) -> float:
-        """End-to-end throughput over the whole run."""
-        return self.n_items / self.wall_seconds if self.wall_seconds > 0 else float("inf")
+        """End-to-end throughput (``0.0`` when no time was recorded)."""
+        return self.n_items / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
     @property
     def busy_seconds(self) -> float:
@@ -146,9 +179,9 @@ class EngineMetrics:
     def stage_items_per_second(self) -> Dict[str, float]:
         """Per-stage throughput: campaign items over that stage's
         summed worker seconds (i.e. the rate each stage alone would
-        sustain on one core)."""
+        sustain on one core).  ``0.0`` for zero-time stages."""
         return {
-            stage: (self.n_items / seconds if seconds > 0 else float("inf"))
+            stage: (self.n_items / seconds if seconds > 0 else 0.0)
             for stage, seconds in self.stage_totals().items()
         }
 
@@ -162,8 +195,11 @@ class EngineMetrics:
                 f"; cache {self.cache_hits}/{self.cache_hits + self.cache_misses}"
                 f" hits ({self.cache_hit_rate:.0%})"
             )
+        rate = (
+            f"{self.items_per_second:.0f}/s" if self.wall_seconds > 0 else "n/a"
+        )
         return (
             f"{self.kind}: {self.n_items} items in {self.wall_seconds:.2f}s "
-            f"({self.items_per_second:.0f}/s, {self.n_shards} shards, "
+            f"({rate}, {self.n_shards} shards, "
             f"{self.workers} workers; {split}{cache})"
         )

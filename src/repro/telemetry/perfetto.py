@@ -1,0 +1,72 @@
+"""Chrome trace-event export (loadable in Perfetto / chrome://tracing).
+
+Converts a span forest into the JSON Trace Event Format's complete
+(``"ph": "X"``) events: each process that recorded spans becomes one
+track, shard and stage spans nest on it, and span attrs/counters appear
+in the ``args`` pane on click.  Load ``trace.json`` at
+https://ui.perfetto.dev or ``chrome://tracing`` to inspect a campaign's
+shard/stage/cache timeline visually.
+
+Timestamps are microseconds re-based to the earliest span in the
+export, so traces start at t=0 regardless of wall-clock epoch.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.telemetry.spans import SpanRecord, walk_spans
+
+__all__ = ["chrome_trace_events", "write_chrome_trace"]
+
+
+def chrome_trace_events(roots: Sequence[SpanRecord]) -> List[Dict]:
+    """The ``traceEvents`` list for a span forest."""
+    spans = list(walk_spans(list(roots)))
+    if not spans:
+        return []
+    origin = min(rec.start for _p, _d, rec in spans)
+    events: List[Dict] = []
+    for pid in sorted({rec.pid for _p, _d, rec in spans}):
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": pid,
+                "args": {"name": f"repro pid {pid}"},
+            }
+        )
+    for path, depth, rec in spans:
+        args: Dict[str, object] = dict(rec.attrs)
+        args.update(rec.counters)
+        args["path"] = path
+        events.append(
+            {
+                "ph": "X",
+                "name": rec.name,
+                "cat": path.split("/", 1)[0],
+                "ts": (rec.start - origin) * 1e6,
+                "dur": max(rec.seconds, 0.0) * 1e6,
+                "pid": rec.pid,
+                "tid": rec.pid,
+                "args": args,
+            }
+        )
+    return events
+
+
+def write_chrome_trace(
+    path: Union[str, Path], roots: Sequence[SpanRecord]
+) -> Path:
+    """Write ``{"traceEvents": [...]}`` for Perfetto/chrome://tracing."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "traceEvents": chrome_trace_events(roots),
+        "displayTimeUnit": "ms",
+    }
+    path.write_text(json.dumps(payload, default=str))
+    return path

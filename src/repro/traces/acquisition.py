@@ -29,6 +29,7 @@ own plaintext, exactly as chaining would leave it).
 from __future__ import annotations
 
 import numbers
+import warnings
 from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
@@ -44,6 +45,18 @@ from repro.timing.sampling import ClockSpec
 from repro.traces.store import TraceSet
 from repro.victims.aes import AES128, AESHardwareModel
 from repro.victims.power_virus import PowerVirusBank
+
+
+def _warn_timings_dict() -> None:
+    """Deprecation warning for the pre-span ``timings`` dict plumbing."""
+    warnings.warn(
+        "the timings={} dict argument is deprecated; pass a "
+        "repro.kernels.StageProfile via profile= instead — stages are "
+        "recorded as telemetry spans (repro.telemetry) with bytes, "
+        "items and timeline position",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def _coerce_group_count(active_groups, n_groups: int) -> int:
@@ -169,11 +182,14 @@ class AESTraceAcquisition:
 
         Per-stage costs accumulate into ``profile`` when given; the
         legacy ``timings`` dict still receives this call's ``"aes"``,
-        ``"pdn"`` and ``"sensor"`` wall seconds.
+        ``"pdn"`` and ``"sensor"`` wall seconds, but is deprecated in
+        favour of the span-recording ``profile``.
 
         Returns ``(readouts, ciphertexts)`` with shapes
         ``(m, n_samples)`` int16 and ``(m, 16)`` uint8.
         """
+        if timings is not None:
+            _warn_timings_dict()
         if profile is None:
             profile = StageProfile()
         before = profile.stage_seconds() if timings is not None else None
@@ -275,6 +291,8 @@ def characterize_block(
 ) -> np.ndarray:
     """One vectorized characterization block: noisy voltages around a
     precomputed droop, sampled with the exact per-bit method."""
+    if timings is not None:
+        _warn_timings_dict()
     if profile is None:
         profile = StageProfile()
     before = profile.stage_seconds() if timings is not None else None

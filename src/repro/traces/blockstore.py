@@ -235,6 +235,19 @@ class CacheCounters:
             "integrity_failures": self.integrity_failures,
         }
 
+    def telemetry_counters(self) -> Dict[str, float]:
+        """Numeric counter view for telemetry span attachment.
+
+        The engine's per-shard ``cache`` spans carry hit/miss bytes
+        already; this is the whole-store view (e.g. one process's
+        session), suitable for ``SpanRecord.counters``.
+        """
+        return {
+            key: float(value)
+            for key, value in self.as_dict().items()
+            if isinstance(value, (int, float))
+        }
+
 
 @dataclass(frozen=True)
 class StoreStats:

@@ -339,7 +339,10 @@ class TestFusedMatchesReference:
         aes = AES128(KEY)
         pts = np.random.default_rng(0).integers(0, 256, (16, 16), dtype=np.uint8)
         timings = {}
-        acq.acquire_block(aes, pts, np.random.default_rng(0), 60, timings=timings)
+        with pytest.warns(DeprecationWarning, match="span"):
+            acq.acquire_block(
+                aes, pts, np.random.default_rng(0), 60, timings=timings
+            )
         assert {"aes", "pdn", "sensor"} <= set(timings)
         assert all(v >= 0 for v in timings.values())
 
