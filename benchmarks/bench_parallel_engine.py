@@ -14,7 +14,7 @@ from conftest import full_scale, run_once
 from repro.experiments import common
 from repro.experiments.table1_traces import DEFAULT_KEY
 from repro.runtime import Engine
-from repro.traces.acquisition import AESTraceAcquisition
+from repro.traces.acquisition import AcquisitionSpec
 
 POOL_WORKERS = 4
 
@@ -25,7 +25,12 @@ def _make_acquisition():
         setup, common.placement_pblock(setup.device, "P6"), seed=7
     )
     hw = common.make_hw_model(common.AES_CLOCK, setup.constants)
-    return AESTraceAcquisition(sensor, setup.coupling, hw, common.AES_POSITION)
+    return AcquisitionSpec(
+        sensor=sensor,
+        coupling=setup.coupling,
+        hw_model=hw,
+        aes_position=common.AES_POSITION,
+    ).build()
 
 
 def test_parallel_collect_speedup(benchmark):

@@ -17,7 +17,7 @@ from repro.analysis.tvla import TVLA_THRESHOLD, assess_aes_leakage
 from repro.defense.fence import ActiveFence
 from repro.experiments import common
 from repro.pdn.noise import NoiseModel
-from repro.traces.acquisition import AESTraceAcquisition
+from repro.traces.acquisition import AcquisitionSpec
 
 KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
 
@@ -27,10 +27,13 @@ def run_tvla(noise, label):
     sensor = common.make_leakydsp(
         setup, common.placement_pblock(setup.device, "P6"), seed=7
     )
-    acq = AESTraceAcquisition(
-        sensor, setup.coupling, common.make_hw_model(), common.AES_POSITION,
+    acq = AcquisitionSpec(
+        sensor=sensor,
+        coupling=setup.coupling,
+        hw_model=common.make_hw_model(),
+        aes_position=common.AES_POSITION,
         noise=noise,
-    )
+    ).build()
     result = assess_aes_leakage(acq, KEY, n_traces_per_class=2000, rng=3)
     verdict = "LEAKS" if result.leaks else "quiet"
     print(f"{label:<28} max|t| = {result.max_abs_t:6.1f}  "

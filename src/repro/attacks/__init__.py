@@ -22,6 +22,7 @@ from repro.attacks.metrics import (
     guessing_entropy,
     rank_curve,
     streamed_rank_curve,
+    streamed_rank_curves,
     traces_to_disclosure,
 )
 
@@ -41,5 +42,6 @@ __all__ = [
     "guessing_entropy",
     "rank_curve",
     "streamed_rank_curve",
+    "streamed_rank_curves",
     "traces_to_disclosure",
 ]

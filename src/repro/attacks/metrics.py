@@ -163,6 +163,59 @@ def streamed_rank_curve(
     return curve, attack
 
 
+def streamed_rank_curves(
+    engine,
+    acquisitions,
+    n_traces: int,
+    *,
+    key,
+    checkpoints: Sequence[int],
+    seed=0,
+    sample_window: Optional[Tuple[int, int]] = None,
+    chunk_size: Optional[int] = None,
+    on_point: Optional[Callable[[int, RankPoint], None]] = None,
+) -> List[Tuple[RankCurve, CPAAttack]]:
+    """Fan-out counterpart of :func:`streamed_rank_curve`: one rank
+    curve per sensor from a *single* victim campaign.
+
+    ``acquisitions`` is whatever :meth:`repro.runtime.Engine.
+    stream_attack_many` accepts (a ``MultiSensorAcquisition`` or a
+    sequence of specs/harnesses sharing one kernel).  Each returned
+    ``(curve, attack)`` pair is bit-identical to
+    :func:`streamed_rank_curve` over that sensor alone with the same
+    seed — the shared AES+PDN pass is computed once per shard instead
+    of once per sensor.  ``on_point(sensor_index, point)`` fires per
+    sensor as each checkpoint folds.
+    """
+    from repro.traces.acquisition import MultiSensorAcquisition
+
+    checkpoints = _validated_checkpoints(checkpoints, n_traces)
+    true_last_round = expand_key(key)[10]
+    if not isinstance(acquisitions, MultiSensorAcquisition):
+        acquisitions = MultiSensorAcquisition(list(acquisitions))
+    n_samples = acquisitions.default_n_samples()
+    curves = [RankCurve() for _ in range(len(acquisitions))]
+
+    def on_checkpoint(sensor_index: int, done: int, acc) -> None:
+        point = evaluate_rank_point(acc, true_last_round, done)
+        curves[sensor_index].points.append(point)
+        if on_point is not None:
+            on_point(sensor_index, point)
+
+    attacks = engine.stream_attack_many(
+        acquisitions,
+        n_traces,
+        key=key,
+        consumer_factory=partial(CPAAttack, n_samples, sample_window),
+        seed=seed,
+        n_samples=n_samples,
+        chunk_size=chunk_size,
+        checkpoints=checkpoints,
+        on_checkpoint=on_checkpoint,
+    )
+    return list(zip(curves, attacks))
+
+
 def traces_to_disclosure(
     trace_set: TraceSet,
     step: int = 1000,

@@ -302,12 +302,21 @@ def _run_one(name: str, args, run_dir=None, trace_out=None) -> None:
         print(f"metrics: {metrics}")
     cache = result.metadata.get("cache")
     if cache:
-        print(
+        line = (
             f"cache: hits={cache['hits']} misses={cache['misses']} "
             f"hit_rate={cache['hit_rate']:.2%} "
             f"read={cache['bytes_read'] / 1e6:.1f}MB "
             f"written={cache['bytes_written'] / 1e6:.1f}MB"
         )
+        # Fan-out campaigns additionally report partially-hit shards
+        # and their per-sensor sub-block split.
+        if cache.get("partial") or cache.get("sub_hits") or cache.get("sub_misses"):
+            line += (
+                f" partial={cache.get('partial', 0)} "
+                f"sub_hits={cache.get('sub_hits', 0)} "
+                f"sub_misses={cache.get('sub_misses', 0)}"
+            )
+        print(line)
     if result.metadata.get("run_dir"):
         print(f"run record: {result.metadata['run_dir']}")
     if result.metadata.get("trace_out"):

@@ -32,6 +32,7 @@ from repro.fpga.placement import Pblock, Placer
 from repro.pdn.coupling import CouplingModel
 from repro.sensors import TDC
 from repro.timing.sampling import ClockSpec
+from repro.traces.acquisition import AcquisitionSpec
 from repro.victims.aes import AESHardwareModel
 from repro.victims.power_virus import PowerVirusBank
 
@@ -219,6 +220,64 @@ def make_hw_model(
 ) -> AESHardwareModel:
     """The AES hardware model at a given victim clock."""
     return AESHardwareModel(aes_clock, SENSOR_CLOCK, constants=constants)
+
+
+# ----------------------------------------------------------------------
+# Acquisition specs — the normalized entry point every AES experiment
+# builds its harnesses through.  Each spec gets a fresh board (like
+# reflashing the FPGA between campaigns); specs built this way are
+# value-compatible (same hardware/noise configuration, one shared
+# default kernel instance), so any subset can fan out together in a
+# MultiSensorAcquisition.
+# ----------------------------------------------------------------------
+
+
+def placement_spec(
+    placement: str,
+    sensor_type: str = "LeakyDSP",
+    aes_clock: ClockSpec = AES_CLOCK,
+    seed: int = 7,
+) -> AcquisitionSpec:
+    """The Table I / Fig. 5 acquisition spec for one named placement
+    P1..P8 (fresh board per spec)."""
+    setup = Basys3Setup.create()
+    pblock = placement_pblock(setup.device, placement)
+    if sensor_type == "LeakyDSP":
+        sensor = make_leakydsp(setup, pblock, seed=seed)
+    elif sensor_type == "TDC":
+        sensor = make_tdc(setup, pblock, seed=seed)
+    else:
+        raise ValueError(f"unknown sensor type {sensor_type!r}")
+    hw = make_hw_model(aes_clock, setup.constants)
+    return AcquisitionSpec(
+        sensor=sensor,
+        coupling=setup.coupling,
+        hw_model=hw,
+        aes_position=AES_POSITION,
+    )
+
+
+def placement_specs(
+    placements,
+    sensor_type: str = "LeakyDSP",
+    aes_clock: ClockSpec = AES_CLOCK,
+    seed: int = 7,
+) -> List[AcquisitionSpec]:
+    """One :func:`placement_spec` per named placement, in order —
+    ready to fan out as one ``MultiSensorAcquisition``."""
+    return [
+        placement_spec(p, sensor_type, aes_clock, seed) for p in placements
+    ]
+
+
+def region_sensors(setup, maker=make_leakydsp, seed: int = 7) -> List[VoltageSensor]:
+    """One placed, calibrated sensor per Fig. 4 clock region, in paper
+    order (region index ``i`` seeded ``seed + i``, matching the
+    per-region campaigns)."""
+    return [
+        maker(setup, region_pblock(setup.device, index), seed=seed + index)
+        for index in FIG4_REGIONS
+    ]
 
 
 def last_round_window(hw_model: AESHardwareModel, n_samples: int) -> Tuple[int, int]:

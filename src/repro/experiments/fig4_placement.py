@@ -70,7 +70,15 @@ def run_fig4(
     include_tdc: bool = True,
     engine: Optional[Engine] = None,
 ) -> Fig4Result:
-    """Reproduce Fig. 4 for LeakyDSP (and optionally the TDC)."""
+    """Reproduce Fig. 4 for LeakyDSP (and optionally the TDC).
+
+    On the serial path every (sensor, region, level) sample is an
+    independent :func:`characterize_readouts` call.  With an
+    ``engine``, each sensor family characterizes all six regions in
+    *two* fan-out campaigns (virus off, virus on) through
+    :meth:`~repro.runtime.Engine.characterize_many` — per-region
+    results identical to six single-sensor campaigns with those seeds.
+    """
     setup = common.Basys3Setup.create()
     virus = common.make_virus(setup, n_instances, n_groups)
 
@@ -78,6 +86,7 @@ def run_fig4(
     if include_tdc:
         sensor_makers["TDC"] = common.make_tdc
 
+    result = Fig4Result()
     if engine is None:
         gen = make_rng(rng)
 
@@ -86,32 +95,42 @@ def run_fig4(
                 sensor, setup.coupling, virus, level, n_readouts, rng=gen
             )
 
-    else:
-        n_calls = 2 * len(sensor_makers) * len(common.FIG4_REGIONS)
-        seeds = iter(root_sequence(rng).spawn(n_calls))
-
-        def sample(sensor, level):
-            return engine.characterize(
-                sensor, setup.coupling, virus, level, n_readouts, seed=next(seeds)
-            )
-
-    result = Fig4Result()
-    for name, maker in sensor_makers.items():
-        points: List[PlacementPoint] = []
-        for index, region_name in common.FIG4_REGIONS.items():
-            pblock = common.region_pblock(setup.device, index)
-            sensor = maker(setup, pblock, seed=seed + index)
-            off = sample(sensor, 0)
-            on = sample(sensor, n_groups)
-            points.append(
-                PlacementPoint(
-                    region_index=index,
-                    region_name=region_name,
-                    readout_off=float(np.mean(off)),
-                    readout_on=float(np.mean(on)),
+        for name, maker in sensor_makers.items():
+            points: List[PlacementPoint] = []
+            for index, region_name in common.FIG4_REGIONS.items():
+                pblock = common.region_pblock(setup.device, index)
+                sensor = maker(setup, pblock, seed=seed + index)
+                off = sample(sensor, 0)
+                on = sample(sensor, n_groups)
+                points.append(
+                    PlacementPoint(
+                        region_index=index,
+                        region_name=region_name,
+                        readout_off=float(np.mean(off)),
+                        readout_on=float(np.mean(on)),
+                    )
                 )
+            result.points[name] = points
+        return result
+
+    seeds = iter(root_sequence(rng).spawn(2 * len(sensor_makers)))
+    for name, maker in sensor_makers.items():
+        sensors = common.region_sensors(setup, maker, seed=seed)
+        offs = engine.characterize_many(
+            sensors, setup.coupling, virus, 0, n_readouts, seed=next(seeds)
+        )
+        ons = engine.characterize_many(
+            sensors, setup.coupling, virus, n_groups, n_readouts, seed=next(seeds)
+        )
+        result.points[name] = [
+            PlacementPoint(
+                region_index=index,
+                region_name=region_name,
+                readout_off=float(np.mean(offs[i])),
+                readout_on=float(np.mean(ons[i])),
             )
-        result.points[name] = points
+            for i, (index, region_name) in enumerate(common.FIG4_REGIONS.items())
+        ]
     return result
 
 

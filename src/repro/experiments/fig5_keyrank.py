@@ -23,6 +23,7 @@ from repro.experiments.table1_traces import (
     collect_placement_traces,
     disclosure_curve,
     streamed_placement_curve,
+    streamed_placement_curves,
 )
 from repro.runtime import Engine, ProgressEvent
 from repro.runtime.sharding import root_sequence
@@ -89,20 +90,22 @@ def run_fig5(
 ) -> Fig5Result:
     """Reproduce Fig. 5 for the selected placements.
 
-    With an ``engine``, each campaign streams shard-by-shard into the
-    CPA accumulator (:func:`~repro.experiments.table1_traces.
-    streamed_placement_curve`) — bit-identical rank curves, peak memory
-    bounded by one shard instead of the whole campaign, and key-rank
-    progress reported incrementally through the engine's progress hook.
+    With an ``engine``, campaigns stream shard-by-shard into the CPA
+    accumulators — bit-identical rank curves, peak memory bounded by
+    one shard instead of the whole campaign, and key-rank progress
+    reported incrementally through the engine's progress hook.  Two or
+    more placements ride one fan-out campaign
+    (:func:`~repro.experiments.table1_traces.
+    streamed_placement_curves`, the shared AES+PDN pass paid once per
+    shard); a single placement keeps the historical single-sensor
+    stream — same RNG child 0 either way, so the per-placement curves
+    (and their cache blocks) are identical across both shapes.
     """
+    result = Fig5Result(rating_at=rating_at)
     if engine is None:
         gen = make_rng(rng)
         campaign_rngs = iter(lambda: gen, None)
-    else:
-        campaign_rngs = iter(root_sequence(rng).spawn(len(placements)))
-    result = Fig5Result(rating_at=rating_at)
-    for placement in placements:
-        if engine is None:
+        for placement in placements:
             ts = collect_placement_traces(
                 placement,
                 n_traces,
@@ -112,19 +115,44 @@ def run_fig5(
                 engine=engine,
             )
             result.curves[placement] = disclosure_curve(ts, step)
-        else:
-            curve, _attack = streamed_placement_curve(
-                engine,
-                placement,
-                n_traces,
-                step,
-                "LeakyDSP",
-                seed=seed,
-                rng=next(campaign_rngs),
-                chunk_size=chunk_size,
-                on_point=_rank_progress(placement, n_traces, engine),
-            )
-            result.curves[placement] = curve
+        return result
+
+    campaign_rng = root_sequence(rng).spawn(1)[0]
+    if len(placements) == 1:
+        placement = placements[0]
+        curve, _attack = streamed_placement_curve(
+            engine,
+            placement,
+            n_traces,
+            step,
+            "LeakyDSP",
+            seed=seed,
+            rng=campaign_rng,
+            chunk_size=chunk_size,
+            on_point=_rank_progress(placement, n_traces, engine),
+        )
+        result.curves[placement] = curve
+        return result
+
+    progress = [_rank_progress(p, n_traces, engine) for p in placements]
+
+    def on_point(index: int, point) -> None:
+        if progress[index] is not None:
+            progress[index](point)
+
+    pairs = streamed_placement_curves(
+        engine,
+        placements,
+        n_traces,
+        step,
+        "LeakyDSP",
+        seed=seed,
+        rng=campaign_rng,
+        chunk_size=chunk_size,
+        on_point=on_point,
+    )
+    for placement, (curve, _attack) in zip(placements, pairs):
+        result.curves[placement] = curve
     return result
 
 

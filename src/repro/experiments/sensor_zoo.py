@@ -116,50 +116,63 @@ def run_sensor_zoo(
     result = SensorZooResult()
     levels = np.arange(virus.n_groups + 1)
     instances = levels * virus.instances_per_group
-    if engine is None:
-        gen = make_rng(rng)
 
-        def calibration_rng():
-            return gen
-
-        def sample(sensor, level):
-            return characterize_readouts(
-                sensor, setup.coupling, virus, level, n_readouts, rng=gen
-            )
-
-    else:
-        seeds = iter(root_sequence(rng).spawn(len(sensors) * (len(levels) + 1)))
-
-        def calibration_rng():
-            return make_rng(next(seeds))
-
-        def sample(sensor, level):
-            return engine.characterize(
-                sensor, setup.coupling, virus, level, n_readouts, seed=next(seeds)
-            )
-
-    for name, sensor in sensors.items():
-        placement = sensor.place(setup.placer, pblock=pblock)
-        if name != "RO":  # the RO counter needs no phase calibration
-            calibrate(sensor, rng=calibration_rng())
-        means = [
-            float(np.mean(sample(sensor, int(level)))) for level in levels
-        ]
+    def zoo_row(name, sensor, means, placement) -> ZooRow:
         fit = linear_regression(instances, means)
         bitstream = generate_bitstream(sensor.netlist(), placement)
         res = _resource_counts(sensor.netlist())
-        result.rows.append(
-            ZooRow(
-                sensor=name,
-                pearson_r=fit.r_value,
-                granularity=abs(fit.slope * 1000.0),
-                luts=res["LUT"],
-                ffs=res["FDRE"],
-                carries=res["CARRY4"],
-                dsps=res["DSP"],
-                passes_bitstream_check=checker.accepts(bitstream),
-            )
+        return ZooRow(
+            sensor=name,
+            pearson_r=fit.r_value,
+            granularity=abs(fit.slope * 1000.0),
+            luts=res["LUT"],
+            ffs=res["FDRE"],
+            carries=res["CARRY4"],
+            dsps=res["DSP"],
+            passes_bitstream_check=checker.accepts(bitstream),
         )
+
+    if engine is None:
+        gen = make_rng(rng)
+        for name, sensor in sensors.items():
+            placement = sensor.place(setup.placer, pblock=pblock)
+            if name != "RO":  # the RO counter needs no phase calibration
+                calibrate(sensor, rng=gen)
+            means = [
+                float(
+                    np.mean(
+                        characterize_readouts(
+                            sensor, setup.coupling, virus, int(level),
+                            n_readouts, rng=gen,
+                        )
+                    )
+                )
+                for level in levels
+            ]
+            result.rows.append(zoo_row(name, sensor, means, placement))
+        return result
+
+    # Engine path: place and calibrate every sensor up front (one seed
+    # per non-RO calibration), then characterize the whole zoo per
+    # activity level in one fan-out campaign — each sensor's readouts
+    # identical to a single-sensor engine.characterize at that seed.
+    n_calibrations = sum(1 for name in sensors if name != "RO")
+    seeds = iter(root_sequence(rng).spawn(n_calibrations + len(levels)))
+    placements = {}
+    for name, sensor in sensors.items():
+        placements[name] = sensor.place(setup.placer, pblock=pblock)
+        if name != "RO":
+            calibrate(sensor, rng=make_rng(next(seeds)))
+    means: Dict[str, List[float]] = {name: [] for name in sensors}
+    for level in levels:
+        outs = engine.characterize_many(
+            list(sensors.values()), setup.coupling, virus, int(level),
+            n_readouts, seed=next(seeds),
+        )
+        for name, out in zip(sensors, outs):
+            means[name].append(float(np.mean(out)))
+    for name, sensor in sensors.items():
+        result.rows.append(zoo_row(name, sensor, means[name], placements[name]))
     return result
 
 

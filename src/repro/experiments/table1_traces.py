@@ -37,17 +37,11 @@ def placement_acquisition(
     seed: int = 7,
 ) -> AESTraceAcquisition:
     """Build the acquisition harness for a sensor at one named
-    placement (fresh board per campaign, like reflashing the FPGA)."""
-    setup = common.Basys3Setup.create()
-    pblock = common.placement_pblock(setup.device, placement)
-    if sensor_type == "LeakyDSP":
-        sensor = common.make_leakydsp(setup, pblock, seed=seed)
-    elif sensor_type == "TDC":
-        sensor = common.make_tdc(setup, pblock, seed=seed)
-    else:
-        raise ValueError(f"unknown sensor type {sensor_type!r}")
-    hw = common.make_hw_model(aes_clock, setup.constants)
-    return AESTraceAcquisition(sensor, setup.coupling, hw, common.AES_POSITION)
+    placement (fresh board per campaign, like reflashing the FPGA).
+
+    Thin wrapper over :func:`repro.experiments.common.placement_spec` —
+    the spec is the normalized construction path."""
+    return common.placement_spec(placement, sensor_type, aes_clock, seed).build()
 
 
 def collect_placement_traces(
@@ -124,6 +118,52 @@ def streamed_placement_curve(
     )
 
 
+def streamed_placement_curves(
+    engine: Engine,
+    placements: Sequence[str],
+    n_traces: int,
+    step: int,
+    sensor_type: str = "LeakyDSP",
+    aes_clock: ClockSpec = common.AES_CLOCK,
+    key: bytes = DEFAULT_KEY,
+    seed: int = 7,
+    rng: RngLike = 3,
+    chunk_size: Optional[int] = None,
+    on_point=None,
+):
+    """Fan-out equivalent of one :func:`streamed_placement_curve` per
+    placement: every placement's sensor observes the *same* victim
+    campaign, so the AES+PDN work is paid once per shard instead of
+    once per placement.
+
+    Each returned ``(RankCurve, CPAAttack)`` pair is bit-identical to
+    :func:`streamed_placement_curve` over that placement alone with the
+    same ``rng`` — the :meth:`~repro.kernels.AcquisitionKernel.
+    acquire_many` contract.  ``on_point(placement_index, point)`` feeds
+    incremental rank progress per placement.
+    """
+    from repro.attacks.metrics import streamed_rank_curves
+    from repro.traces.acquisition import MultiSensorAcquisition
+
+    acqs = MultiSensorAcquisition(
+        common.placement_specs(placements, sensor_type, aes_clock, seed)
+    )
+    hw = common.make_hw_model(aes_clock)
+    window = common.last_round_window(hw, acqs.default_n_samples())
+    checkpoints = list(range(step, n_traces + 1, step))
+    return streamed_rank_curves(
+        engine,
+        acqs,
+        n_traces,
+        key=key,
+        checkpoints=checkpoints,
+        seed=rng,
+        sample_window=window,
+        chunk_size=chunk_size,
+        on_point=on_point,
+    )
+
+
 def disclosure_curve(
     trace_set: TraceSet,
     step: int,
@@ -184,40 +224,67 @@ def run_table1(
 ) -> Table1Result:
     """Reproduce Table I.
 
-    Each placement is an independent campaign (fresh board, fresh
-    sensor, same key).  The TDC baseline runs once, at ``tdc_placement``
-    — the paper evaluates the TDC "in one setting" only, since TDC and
-    LeakyDSP cannot occupy the same sites for a like-for-like spot.
+    Each placement is a fresh board and sensor, same key.  The TDC
+    baseline runs once, at ``tdc_placement`` — the paper evaluates the
+    TDC "in one setting" only, since TDC and LeakyDSP cannot occupy the
+    same sites for a like-for-like spot.
+
+    On the serial path (``engine=None``) every placement is an
+    independent campaign drawn from one generator.  With an ``engine``,
+    all LeakyDSP placements ride a *single* fan-out campaign
+    (:func:`streamed_placement_curves`, RNG child 0 — so a
+    single-placement table keeps its historical seeds) and the TDC
+    baseline streams separately (child 1).
     """
+    result = Table1Result()
     if engine is None:
         gen = make_rng(rng)
         campaign_rngs = iter(lambda: gen, None)
-    else:
-        campaign_rngs = iter(root_sequence(rng).spawn(len(placements) + 1))
-    result = Table1Result()
-    for placement in placements:
-        ts = collect_placement_traces(
-            placement,
-            n_traces,
-            "LeakyDSP",
-            seed=seed,
-            rng=next(campaign_rngs),
-            engine=engine,
-        )
-        curve = disclosure_curve(ts, step)
+        for placement in placements:
+            ts = collect_placement_traces(
+                placement,
+                n_traces,
+                "LeakyDSP",
+                seed=seed,
+                rng=next(campaign_rngs),
+                engine=engine,
+            )
+            curve = disclosure_curve(ts, step)
+            result.rows.append(
+                Table1Row(placement, "LeakyDSP", curve.traces_to_disclosure, n_traces)
+            )
+        if include_tdc:
+            ts = collect_placement_traces(
+                tdc_placement,
+                n_traces + 20_000,
+                "TDC",
+                seed=seed,
+                rng=next(campaign_rngs),
+                engine=engine,
+            )
+            curve = disclosure_curve(ts, step)
+            result.rows.append(
+                Table1Row(
+                    tdc_placement, "TDC", curve.traces_to_disclosure,
+                    n_traces + 20_000,
+                )
+            )
+        return result
+
+    seeds = root_sequence(rng).spawn(2)
+    pairs = streamed_placement_curves(
+        engine, placements, n_traces, step, "LeakyDSP",
+        seed=seed, rng=seeds[0],
+    )
+    for placement, (curve, _attack) in zip(placements, pairs):
         result.rows.append(
             Table1Row(placement, "LeakyDSP", curve.traces_to_disclosure, n_traces)
         )
     if include_tdc:
-        ts = collect_placement_traces(
-            tdc_placement,
-            n_traces + 20_000,
-            "TDC",
-            seed=seed,
-            rng=next(campaign_rngs),
-            engine=engine,
+        curve, _attack = streamed_placement_curve(
+            engine, tdc_placement, n_traces + 20_000, step, "TDC",
+            seed=seed, rng=seeds[1],
         )
-        curve = disclosure_curve(ts, step)
         result.rows.append(
             Table1Row(
                 tdc_placement, "TDC", curve.traces_to_disclosure, n_traces + 20_000

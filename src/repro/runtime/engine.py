@@ -53,6 +53,7 @@ from repro.runtime.sharding import (
 )
 from repro.traces.acquisition import (
     AESTraceAcquisition,
+    MultiSensorAcquisition,
     characterize_block,
     characterize_droop,
 )
@@ -148,14 +149,36 @@ def _shard_metrics(
     seconds: float,
     cache: str,
     cache_nbytes: int,
+    *,
+    bytes_read: Optional[int] = None,
+    bytes_written: Optional[int] = None,
+    sub_hits: int = 0,
+    sub_misses: int = 0,
 ) -> ShardMetrics:
-    """Lift a shard's profile into its span subtree + metrics view."""
+    """Lift a shard's profile into its span subtree + metrics view.
+
+    Single-sensor shards leave the read/write split implicit (a hit is
+    all read, a miss all written) and carry no sub-block counters; the
+    fan-out bodies pass all four explicitly, and only then do the
+    sub-block counters appear in the span (existing span shapes stay
+    untouched).
+    """
+    if bytes_read is None:
+        bytes_read = cache_nbytes if cache == "hit" else 0
+    if bytes_written is None:
+        bytes_written = cache_nbytes if cache == "miss" else 0
+    counters: Dict[str, float] = {
+        "items": shard.size, "cache_nbytes": cache_nbytes
+    }
+    if sub_hits or sub_misses:
+        counters["cache_sub_hits"] = sub_hits
+        counters["cache_sub_misses"] = sub_misses
     span = profile.to_span(
         "shard",
         start=start,
         seconds=seconds,
         attrs={"shard": shard.index, "cache": cache},
-        counters={"items": shard.size, "cache_nbytes": cache_nbytes},
+        counters=counters,
     )
     return ShardMetrics(
         shard_index=shard.index,
@@ -164,20 +187,30 @@ def _shard_metrics(
         span=span,
         cache=cache,
         cache_nbytes=cache_nbytes,
+        cache_bytes_read=bytes_read,
+        cache_bytes_written=bytes_written,
+        cache_sub_hits=sub_hits,
+        cache_sub_misses=sub_misses,
     )
 
 
-def _checkpoint_event(n_traces: int, consumer: object) -> SpanRecord:
+def _checkpoint_event(
+    n_traces: int, consumer: object, sensor: Optional[int] = None
+) -> SpanRecord:
     """A zero-duration checkpoint span, carrying the accumulator's
-    state counters when the consumer exposes them."""
+    state counters when the consumer exposes them.  Fan-out campaigns
+    tag each event with the sensor index it belongs to."""
     counters: Dict[str, float] = {"n_traces": float(n_traces)}
     get = getattr(consumer, "telemetry_counters", None)
     if callable(get):
         counters.update(get())
+    attrs: Dict[str, object] = {"n_traces": int(n_traces)}
+    if sensor is not None:
+        attrs["sensor"] = int(sensor)
     return SpanRecord(
         name="checkpoint",
         start=time.time(),
-        attrs={"n_traces": int(n_traces)},
+        attrs=attrs,
         counters=counters,
     )
 
@@ -302,6 +335,246 @@ def _run_characterize_shard(
 
 
 # ----------------------------------------------------------------------
+# Fan-out shard bodies.  One shard of a fan-out campaign covers N
+# (sensor, placement) pairs: the kernel's ``acquire_many`` computes the
+# shared AES+PDN pass once and samples each sensor from it, and the
+# block store is consulted *per sensor* — each sub-block key is the
+# exact key a single-sensor campaign over that pair would use, so
+# fan-out and single-sensor campaigns share cached blocks freely in
+# both directions.  A shard where every sensor hits is a "hit", where
+# none hit a "miss", and a mixed shard a "partial": the hit sensors
+# are served from their blocks and only the missing ones acquired
+# (skip semantics keep the missing sensors' draws bit-identical).
+# ----------------------------------------------------------------------
+
+
+def _acquire_or_replay_many(
+    msa: MultiSensorAcquisition,
+    aes: AES128,
+    n_samples: int,
+    shard: Shard,
+    seed_seq: np.random.SeedSequence,
+    profile: StageProfile,
+    store: Optional[BlockStore],
+    keys: Optional[Sequence[Optional[str]]],
+) -> Tuple[List[np.ndarray], np.ndarray, np.ndarray, str, Dict[str, int]]:
+    """One fan-out shard's per-sensor readouts, with per-sensor cache.
+
+    Returns ``(readouts_list, pts, cts, cache, cache_stats)`` where
+    ``cache_stats`` carries the keyword arguments of
+    :func:`_shard_metrics` (byte split plus sub-block counters).
+    """
+    n_sensors = len(msa)
+    blocks: List[Optional[object]] = [None] * n_sensors
+    bytes_read = 0
+    if store is not None:
+        with profile.stage("cache", items=shard.size) as acct:
+            blocks = [store.get(k) for k in keys]
+            bytes_read = sum(b.nbytes for b in blocks if b is not None)
+            acct.nbytes += bytes_read
+    sub_hits = sum(1 for b in blocks if b is not None)
+    if store is not None and sub_hits == n_sensors:
+        first = blocks[0].arrays
+        readouts = [b.arrays["traces"] for b in blocks]
+        stats = dict(
+            bytes_read=bytes_read, bytes_written=0,
+            sub_hits=sub_hits, sub_misses=0,
+        )
+        return readouts, first["pts"], first["cts"], "hit", stats
+    rng = np.random.default_rng(seed_seq)
+    shard_pts = rng.integers(0, 256, size=(shard.size, 16), dtype=np.uint8)
+    skip = frozenset(i for i, b in enumerate(blocks) if b is not None)
+    results = msa.acquire_block_many(
+        aes, shard_pts, rng, n_samples, profile=profile, skip=skip
+    )
+    shard_cts = next(r[1] for r in results if r is not None)
+    readouts = [
+        blocks[i].arrays["traces"] if i in skip else results[i][0]
+        for i in range(n_sensors)
+    ]
+    bytes_written = 0
+    if store is not None:
+        with profile.stage("cache", items=shard.size) as acct:
+            before = store.counters.bytes_written
+            for i in range(n_sensors):
+                if i in skip:
+                    continue
+                store.put(
+                    keys[i],
+                    {"traces": results[i][0], "pts": shard_pts, "cts": shard_cts},
+                    meta={
+                        "lineage": seed_lineage(seed_seq),
+                        "block_items": shard.size,
+                        "fanout": {"sensors": n_sensors, "index": i},
+                    },
+                )
+            bytes_written = store.counters.bytes_written - before
+            acct.nbytes += bytes_written
+        cache = "partial" if sub_hits else "miss"
+        stats = dict(
+            bytes_read=bytes_read, bytes_written=bytes_written,
+            sub_hits=sub_hits, sub_misses=n_sensors - sub_hits,
+        )
+        return readouts, shard_pts, shard_cts, cache, stats
+    return readouts, shard_pts, shard_cts, "", dict(
+        bytes_read=0, bytes_written=0, sub_hits=0, sub_misses=0
+    )
+
+
+def _run_collect_many_shard(
+    msa: MultiSensorAcquisition,
+    aes: AES128,
+    n_samples: int,
+    shard: Shard,
+    seed_seq: np.random.SeedSequence,
+    traces: np.ndarray,
+    pts: np.ndarray,
+    cts: np.ndarray,
+    store: Optional[BlockStore] = None,
+    keys: Optional[Sequence[Optional[str]]] = None,
+) -> ShardMetrics:
+    """Fan-out counterpart of :func:`_run_collect_shard` — ``traces``
+    is the ``(n_sensors, n_traces, n_samples)`` result buffer."""
+    start = time.time()
+    t0 = time.perf_counter()
+    profile = StageProfile()
+    readouts, shard_pts, shard_cts, cache, stats = _acquire_or_replay_many(
+        msa, aes, n_samples, shard, seed_seq, profile, store, keys
+    )
+    for i, block in enumerate(readouts):
+        traces[i][shard.slice] = block
+    pts[shard.slice] = shard_pts
+    cts[shard.slice] = shard_cts
+    nbytes = stats["bytes_read"] + stats["bytes_written"]
+    return _shard_metrics(
+        shard, profile, start, time.perf_counter() - t0, cache, nbytes, **stats
+    )
+
+
+def _run_stream_many_shard(
+    msa: MultiSensorAcquisition,
+    aes: AES128,
+    n_samples: int,
+    shard: Shard,
+    seed_seq: np.random.SeedSequence,
+    consumer_factory: Callable[[], object],
+    chunk_size: Optional[int],
+    boundaries: Tuple[int, ...],
+    store: Optional[BlockStore] = None,
+    keys: Optional[Sequence[Optional[str]]] = None,
+) -> Tuple[ShardMetrics, List[List[Tuple[int, object]]]]:
+    """Fan-out counterpart of :func:`_run_stream_shard`.
+
+    Returns ``(metrics, per_sensor_segments)`` where
+    ``per_sensor_segments[i]`` is the ``[(end, accumulator), ...]``
+    list sensor ``i``'s readouts folded into — same segmentation, same
+    chunking, so each sensor's fold is bit-identical to streaming that
+    sensor alone.
+    """
+    start = time.time()
+    t0 = time.perf_counter()
+    profile = StageProfile()
+    readouts_list, _shard_pts, shard_cts, cache, stats = _acquire_or_replay_many(
+        msa, aes, n_samples, shard, seed_seq, profile, store, keys
+    )
+    cuts = [b - shard.start for b in boundaries if shard.start < b < shard.stop]
+    edges = [0, *cuts, shard.size]
+    per_sensor: List[List[Tuple[int, object]]] = []
+    with profile.stage("accumulate", items=shard.size):
+        for readouts in readouts_list:
+            segments: List[Tuple[int, object]] = []
+            for lo, hi in zip(edges, edges[1:]):
+                part = consumer_factory()
+                for sl in iter_chunk_slices(hi - lo, chunk_size):
+                    part.update(
+                        readouts[lo + sl.start : lo + sl.stop],
+                        shard_cts[lo + sl.start : lo + sl.stop],
+                    )
+                segments.append((shard.start + hi, part))
+            per_sensor.append(segments)
+    nbytes = stats["bytes_read"] + stats["bytes_written"]
+    metrics = _shard_metrics(
+        shard, profile, start, time.perf_counter() - t0, cache, nbytes, **stats
+    )
+    return metrics, per_sensor
+
+
+def _run_characterize_many_shard(
+    sensors: Sequence[VoltageSensor],
+    droops: Sequence[float],
+    noises: Sequence[NoiseModel],
+    shard: Shard,
+    seed_seq: np.random.SeedSequence,
+    out: np.ndarray,
+    store: Optional[BlockStore] = None,
+    keys: Optional[Sequence[Optional[str]]] = None,
+) -> ShardMetrics:
+    """Fan-out counterpart of :func:`_run_characterize_shard` —
+    ``out`` is the ``(n_sensors, n_readouts)`` result buffer.
+
+    Every sensor's readouts come from the *same* entry RNG state
+    (restored between sensors), so each row is bit-identical to a
+    single-sensor :meth:`Engine.characterize` with the same seed.
+    """
+    start = time.time()
+    t0 = time.perf_counter()
+    profile = StageProfile()
+    n_sensors = len(sensors)
+    blocks: List[Optional[object]] = [None] * n_sensors
+    bytes_read = 0
+    if store is not None:
+        with profile.stage("cache", items=shard.size):
+            blocks = [store.get(k) for k in keys]
+            bytes_read = sum(b.nbytes for b in blocks if b is not None)
+    sub_hits = sum(1 for b in blocks if b is not None)
+    rng: Optional[np.random.Generator] = None
+    entry_state = None
+    bytes_written = 0
+    for i in range(n_sensors):
+        if blocks[i] is not None:
+            out[i][shard.slice] = blocks[i].arrays["readouts"]
+            continue
+        if rng is None:
+            rng = np.random.default_rng(seed_seq)
+            entry_state = rng.bit_generator.state
+        else:
+            rng.bit_generator.state = entry_state
+        readouts = characterize_block(
+            sensors[i], droops[i], noises[i], shard.size, rng, profile=profile
+        )
+        out[i][shard.slice] = readouts
+        if store is not None:
+            with profile.stage("cache", items=shard.size):
+                before = store.counters.bytes_written
+                store.put(
+                    keys[i],
+                    {"readouts": readouts},
+                    meta={
+                        "lineage": seed_lineage(seed_seq),
+                        "fanout": {"sensors": n_sensors, "index": i},
+                    },
+                )
+                bytes_written += store.counters.bytes_written - before
+    if store is None:
+        cache, stats = "", dict(
+            bytes_read=0, bytes_written=0, sub_hits=0, sub_misses=0
+        )
+    else:
+        cache = (
+            "hit" if sub_hits == n_sensors
+            else "partial" if sub_hits else "miss"
+        )
+        stats = dict(
+            bytes_read=bytes_read, bytes_written=bytes_written,
+            sub_hits=sub_hits, sub_misses=n_sensors - sub_hits,
+        )
+    nbytes = stats["bytes_read"] + stats["bytes_written"]
+    return _shard_metrics(
+        shard, profile, start, time.perf_counter() - t0, cache, nbytes, **stats
+    )
+
+
+# ----------------------------------------------------------------------
 # Worker-side plumbing.  Workers attach the parent's shared-memory
 # segments once (in the pool initializer) and keep array views for the
 # pool's lifetime; per-shard tasks then only carry (shard, seed).
@@ -406,6 +679,83 @@ def _characterize_shard_task(shard: Shard, seed_seq, block_key=None) -> ShardMet
     )
 
 
+def _init_collect_many_worker(msa, key_bytes, n_samples, buffers, store=None):
+    segments = {}
+    arrays = {}
+    for label, (name, shape, dtype) in buffers.items():
+        seg = _attach_segment(name)
+        segments[label] = seg
+        arrays[label] = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
+    _WORKER.clear()
+    _WORKER.update(
+        msa=msa,
+        aes=AES128(key_bytes),
+        n_samples=n_samples,
+        segments=segments,
+        arrays=arrays,
+        store=store,
+    )
+
+
+def _collect_many_shard_task(shard: Shard, seed_seq, block_keys=None) -> ShardMetrics:
+    w = _WORKER
+    a = w["arrays"]
+    return _run_collect_many_shard(
+        w["msa"], w["aes"], w["n_samples"], shard, seed_seq,
+        a["traces"], a["pts"], a["cts"],
+        store=w["store"], keys=block_keys,
+    )
+
+
+def _init_stream_many_worker(
+    msa, key_bytes, n_samples, factory, chunk_size, boundaries, store=None
+):
+    _WORKER.clear()
+    _WORKER.update(
+        msa=msa,
+        aes=AES128(key_bytes),
+        n_samples=n_samples,
+        factory=factory,
+        chunk_size=chunk_size,
+        boundaries=boundaries,
+        store=store,
+    )
+
+
+def _stream_many_shard_task(shard: Shard, seed_seq, block_keys=None):
+    w = _WORKER
+    return _run_stream_many_shard(
+        w["msa"], w["aes"], w["n_samples"], shard, seed_seq,
+        w["factory"], w["chunk_size"], w["boundaries"],
+        store=w["store"], keys=block_keys,
+    )
+
+
+def _init_characterize_many_worker(sensors, droops, noises, buffers, store=None):
+    segments = {}
+    arrays = {}
+    for label, (name, shape, dtype) in buffers.items():
+        seg = _attach_segment(name)
+        segments[label] = seg
+        arrays[label] = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
+    _WORKER.clear()
+    _WORKER.update(
+        sensors=sensors, droops=droops, noises=noises,
+        segments=segments, arrays=arrays, store=store,
+    )
+
+
+def _characterize_many_shard_task(
+    shard: Shard, seed_seq, block_keys=None
+) -> ShardMetrics:
+    w = _WORKER
+    return _run_characterize_many_shard(
+        w["sensors"], w["droops"], w["noises"], shard, seed_seq,
+        w["arrays"]["out"],
+        store=w["store"], keys=block_keys,
+    )
+
+
 class _SharedBuffers:
     """Parent-owned shared-memory result buffers."""
 
@@ -493,17 +843,26 @@ class Engine:
         #: Metrics of the most recent run (:class:`EngineMetrics`).
         self.last_metrics: Optional[EngineMetrics] = None
         #: Cache activity accumulated over *all* runs of this engine
-        #: (``{"hits", "misses", "bytes_read", "bytes_written"}``) —
+        #: (``{"hits", "misses", "partial", "sub_hits", "sub_misses",
+        #: "bytes_read", "bytes_written"}``; the partial/sub keys count
+        #: fan-out shards and their per-sensor sub-blocks) —
         #: ``last_metrics`` only covers the final campaign of a
         #: multi-campaign experiment.
         self.cache_totals: Dict[str, int] = {
-            "hits": 0, "misses": 0, "bytes_read": 0, "bytes_written": 0
+            "hits": 0, "misses": 0, "partial": 0,
+            "sub_hits": 0, "sub_misses": 0,
+            "bytes_read": 0, "bytes_written": 0,
         }
 
     # ------------------------------------------------------------------
     def cache_hit_rate(self) -> float:
-        """Hits over lookups accumulated across this engine's runs."""
-        lookups = self.cache_totals["hits"] + self.cache_totals["misses"]
+        """Full-shard hits over lookups accumulated across this
+        engine's runs (partially-hit fan-out shards count as lookups)."""
+        lookups = (
+            self.cache_totals["hits"]
+            + self.cache_totals["misses"]
+            + self.cache_totals["partial"]
+        )
         return self.cache_totals["hits"] / lookups if lookups else 0.0
 
     def _finish_metrics(
@@ -534,6 +893,9 @@ class Engine:
         self.telemetry.attach(metrics.span)
         self.cache_totals["hits"] += metrics.cache_hits
         self.cache_totals["misses"] += metrics.cache_misses
+        self.cache_totals["partial"] += metrics.cache_partial
+        self.cache_totals["sub_hits"] += metrics.cache_sub_hits
+        self.cache_totals["sub_misses"] += metrics.cache_sub_misses
         self.cache_totals["bytes_read"] += metrics.cache_bytes_read
         self.cache_totals["bytes_written"] += metrics.cache_bytes_written
         self.last_metrics = metrics
@@ -707,6 +1069,128 @@ class Engine:
             key=aes.key,
             metadata=acquisition.trace_metadata(aes),
         )
+
+    # ------------------------------------------------------------------
+    def _as_multi(
+        self,
+        acquisitions: Union[
+            MultiSensorAcquisition, Sequence[object]
+        ],
+    ) -> MultiSensorAcquisition:
+        """Normalize a spec/harness sequence to one fan-out harness."""
+        if isinstance(acquisitions, MultiSensorAcquisition):
+            return acquisitions
+        return MultiSensorAcquisition(list(acquisitions))
+
+    def _many_shard_keys(
+        self,
+        msa: MultiSensorAcquisition,
+        shards: Sequence[Shard],
+        seqs: Sequence[np.random.SeedSequence],
+        n_samples: int,
+        aes: AES128,
+    ) -> Optional[List[Tuple[Optional[str], ...]]]:
+        """Per-shard tuples of per-sensor block keys.
+
+        Each sensor's key is *exactly* the key a single-sensor campaign
+        over that (sensor, placement) pair would compute — kernel
+        choice, worker count and fan-out width are all absent — so
+        blocks flow freely between fan-out and single-sensor runs.
+        """
+        if self.cache is None:
+            return None
+        per_sensor = [
+            self._shard_keys(
+                token, shards, seqs,
+                n_samples=n_samples, aes_key=bytes(aes.key),
+            )
+            for token in msa.cache_tokens()
+        ]
+        return [tuple(shard_keys) for shard_keys in zip(*per_sensor)]
+
+    def collect_many(
+        self,
+        acquisitions: Union[MultiSensorAcquisition, Sequence[object]],
+        n_traces: int,
+        *,
+        key,
+        seed: SeedLike = 0,
+        n_samples: Optional[int] = None,
+    ) -> List[TraceSet]:
+        """Sharded fan-out collection: one :class:`TraceSet` per sensor.
+
+        ``acquisitions`` is a :class:`~repro.traces.acquisition.
+        MultiSensorAcquisition` or a sequence of specs/harnesses to
+        wrap in one.  Each returned trace set is bit-identical to
+        :meth:`collect` over that sensor alone with the same seed (the
+        ``acquire_many`` contract), at any worker count; the shared
+        AES+PDN pass is simply computed once per shard instead of N
+        times.  All trace sets share the same plaintexts, ciphertexts
+        and key.
+        """
+        msa = self._as_multi(acquisitions)
+        aes = AES128(key)
+        if n_samples is None:
+            n_samples = msa.default_n_samples()
+        shards = plan_shards(n_traces, self.shard_size)
+        seqs = spawn_shard_sequences(seed, len(shards))
+        for acq in msa:
+            acq.sensor.precompute_moments()
+            acq.sensor.require_position()
+        keys = self._many_shard_keys(msa, shards, seqs, n_samples, aes)
+        n_sensors = len(msa)
+
+        if self.workers == 1:
+            traces = np.empty((n_sensors, n_traces, n_samples), dtype=np.int16)
+            pts = np.empty((n_traces, 16), dtype=np.uint8)
+            cts = np.empty((n_traces, 16), dtype=np.uint8)
+            self._drive(
+                "collect_many", n_traces, shards, seqs,
+                lambda shard, seq, bkeys: _run_collect_many_shard(
+                    msa, aes, n_samples, shard, seq, traces, pts, cts,
+                    store=self.cache, keys=bkeys,
+                ),
+                _collect_many_shard_task, _init_collect_many_worker, (),
+                keys=keys,
+            )
+        else:
+            buffers = _SharedBuffers(
+                {
+                    "traces": (
+                        (n_sensors, n_traces, n_samples), np.dtype(np.int16)
+                    ),
+                    "pts": ((n_traces, 16), np.dtype(np.uint8)),
+                    "cts": ((n_traces, 16), np.dtype(np.uint8)),
+                }
+            )
+            try:
+                self._drive(
+                    "collect_many", n_traces, shards, seqs,
+                    lambda shard, seq, bkeys: None,  # unused on the pool path
+                    _collect_many_shard_task,
+                    _init_collect_many_worker,
+                    (
+                        msa, bytes(aes.key), n_samples,
+                        buffers.spec_for_worker, self.cache,
+                    ),
+                    keys=keys,
+                )
+                traces = buffers.copy_out("traces")
+                pts = buffers.copy_out("pts")
+                cts = buffers.copy_out("cts")
+            finally:
+                buffers.close()
+
+        return [
+            TraceSet(
+                traces=traces[i],
+                plaintexts=pts,
+                ciphertexts=cts,
+                key=aes.key,
+                metadata=acq.trace_metadata(aes),
+            )
+            for i, acq in enumerate(msa)
+        ]
 
     # ------------------------------------------------------------------
     def stream_attack(
@@ -971,6 +1455,127 @@ class Engine:
         return master
 
     # ------------------------------------------------------------------
+    def stream_attack_many(
+        self,
+        acquisitions: Union[MultiSensorAcquisition, Sequence[object]],
+        n_traces: int,
+        *,
+        key,
+        consumer_factory: Callable[[], object],
+        seed: SeedLike = 0,
+        n_samples: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        checkpoints: Sequence[int] = (),
+        on_checkpoint: Optional[Callable[[int, int, object], None]] = None,
+    ) -> List[object]:
+        """Fan-out counterpart of :meth:`stream_attack`: one victim
+        campaign folded into one accumulator *per sensor*.
+
+        ``consumer_factory`` is called once per sensor for the masters
+        (and per segment inside workers); ``on_checkpoint(sensor_index,
+        count, accumulator)`` fires per sensor at each checkpoint, in
+        sensor order within a checkpoint.  Each returned accumulator is
+        bit-identical to :meth:`stream_attack` over that sensor alone
+        with the same seed, at any worker count and chunk size.
+
+        Unlike :meth:`stream_attack`, fan-out streaming does *not*
+        memoize attack-state snapshots — the per-sensor trace blocks
+        themselves are cached (under single-sensor-compatible keys), so
+        a warm rerun replays acquisition from the store; only the
+        accumulation is repeated.
+        """
+        chunk_size = validate_chunk_size(chunk_size, allow_none=True)
+        boundaries = tuple(int(c) for c in checkpoints)
+        if list(boundaries) != sorted(set(boundaries)):
+            raise ConfigurationError("checkpoints must be strictly increasing")
+        if boundaries and not 0 < boundaries[0] <= boundaries[-1] <= n_traces:
+            raise ConfigurationError(
+                f"checkpoints must lie in 1..{n_traces}, got {boundaries}"
+            )
+        msa = self._as_multi(acquisitions)
+        aes = AES128(key)
+        if n_samples is None:
+            n_samples = msa.default_n_samples()
+        shards = plan_shards(n_traces, self.shard_size)
+        seqs = spawn_shard_sequences(seed, len(shards))
+        for acq in msa:
+            acq.sensor.precompute_moments()
+            acq.sensor.require_position()
+        keys = self._many_shard_keys(msa, shards, seqs, n_samples, aes)
+        if keys is None:
+            keys = [None] * len(shards)
+
+        masters = [consumer_factory() for _ in range(len(msa))]
+        checkpoint_set = set(boundaries)
+        pending: Dict[int, List[List[Tuple[int, object]]]] = {}
+        next_index = 0
+        events: List[SpanRecord] = []
+
+        metrics = EngineMetrics(
+            kind="stream_many",
+            n_items=n_traces,
+            n_shards=len(shards),
+            workers=min(self.workers, len(shards)),
+        )
+        start = time.time()
+        t0 = time.perf_counter()
+
+        def fold_ready() -> None:
+            """Merge completed shards in index order; per checkpoint,
+            fire every sensor's callback in sensor order."""
+            nonlocal next_index
+            while next_index in pending:
+                per_sensor = pending.pop(next_index)
+                ends = [end for end, _part in per_sensor[0]]
+                for pos, end in enumerate(ends):
+                    for s_i, segments in enumerate(per_sensor):
+                        masters[s_i].merge(segments[pos][1])
+                        if end in checkpoint_set:
+                            events.append(
+                                _checkpoint_event(end, masters[s_i], sensor=s_i)
+                            )
+                            if on_checkpoint is not None:
+                                on_checkpoint(s_i, end, masters[s_i])
+                next_index += 1
+
+        if self.workers == 1:
+            done = 0
+            for shard, seq, bkeys in zip(shards, seqs, keys):
+                sm, per_sensor = _run_stream_many_shard(
+                    msa, aes, n_samples, shard, seq,
+                    consumer_factory, chunk_size, boundaries,
+                    store=self.cache, keys=bkeys,
+                )
+                metrics.shards.append(sm)
+                pending[shard.index] = per_sensor
+                fold_ready()
+                done += shard.size
+                self._emit("stream_many", done, n_traces, sm)
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(shards)),
+                initializer=_init_stream_many_worker,
+                initargs=(
+                    msa, bytes(aes.key), n_samples,
+                    consumer_factory, chunk_size, boundaries, self.cache,
+                ),
+            ) as pool:
+                futures = {
+                    pool.submit(_stream_many_shard_task, shard, seq, bkeys): shard
+                    for shard, seq, bkeys in zip(shards, seqs, keys)
+                }
+                done = 0
+                for future in as_completed(futures):
+                    sm, per_sensor = future.result()
+                    metrics.shards.append(sm)
+                    pending[futures[future].index] = per_sensor
+                    fold_ready()
+                    done += futures[future].size
+                    self._emit("stream_many", done, n_traces, sm)
+        self._finish_metrics(metrics, t0, start, events)
+        return masters
+
+    # ------------------------------------------------------------------
     def characterize(
         self,
         sensor: VoltageSensor,
@@ -1022,5 +1627,86 @@ class Engine:
                 keys=keys,
             )
             return buffers.copy_out("out")
+        finally:
+            buffers.close()
+
+    def characterize_many(
+        self,
+        sensors: Sequence[VoltageSensor],
+        coupling: CouplingModel,
+        virus: PowerVirusBank,
+        active_groups: int,
+        n_readouts: int = 2000,
+        *,
+        seed: SeedLike = 0,
+        noise: Optional[NoiseModel] = None,
+    ) -> List[np.ndarray]:
+        """Fan-out counterpart of :meth:`characterize`: one readout
+        array per sensor from a single sharded campaign.
+
+        Every sensor's row is bit-identical to :meth:`characterize`
+        over that sensor alone with the same seed — inside a shard the
+        RNG is restored to its entry state between sensors — and each
+        sensor's cache blocks use exactly its single-sensor key, so the
+        two paths share a warm store.  ``noise`` applies to all sensors
+        when given; otherwise each sensor gets its own white-noise
+        default from its constants (matching :meth:`characterize`).
+        """
+        if not sensors:
+            raise ConfigurationError("characterize_many needs >= 1 sensor")
+        droops = [
+            characterize_droop(sensor, coupling, virus, active_groups)
+            for sensor in sensors
+        ]
+        noises = [
+            noise or NoiseModel(white_rms=sensor.constants.voltage_noise_rms)
+            for sensor in sensors
+        ]
+        shards = plan_shards(n_readouts, self.shard_size)
+        seqs = spawn_shard_sequences(seed, len(shards))
+        keys = None
+        if self.cache is not None:
+            per_sensor = [
+                self._shard_keys(
+                    {
+                        "kind": "characterize",
+                        "sensor": sensor.cache_token(),
+                        "droop": float(droop),
+                        "noise": sensor_noise.cache_token(),
+                    },
+                    shards, seqs,
+                )
+                for sensor, droop, sensor_noise in zip(sensors, droops, noises)
+            ]
+            keys = [tuple(shard_keys) for shard_keys in zip(*per_sensor)]
+
+        if self.workers == 1:
+            out = np.empty((len(sensors), n_readouts), dtype=np.int64)
+            self._drive(
+                "characterize_many", n_readouts, shards, seqs,
+                lambda shard, seq, bkeys: _run_characterize_many_shard(
+                    sensors, droops, noises, shard, seq, out,
+                    store=self.cache, keys=bkeys,
+                ),
+                _characterize_many_shard_task, _init_characterize_many_worker,
+                (),
+                keys=keys,
+            )
+            return [out[i] for i in range(len(sensors))]
+
+        buffers = _SharedBuffers(
+            {"out": ((len(sensors), n_readouts), np.dtype(np.int64))}
+        )
+        try:
+            self._drive(
+                "characterize_many", n_readouts, shards, seqs,
+                lambda shard, seq, bkeys: None,
+                _characterize_many_shard_task,
+                _init_characterize_many_worker,
+                (sensors, droops, noises, buffers.spec_for_worker, self.cache),
+                keys=keys,
+            )
+            out = buffers.copy_out("out")
+            return [out[i] for i in range(len(sensors))]
         finally:
             buffers.close()

@@ -35,10 +35,21 @@ class ShardMetrics:
     #: ("aes", "pdn", "sensor", "cache"), recorded by the worker.
     span: Optional[SpanRecord] = None
     #: Block-cache outcome for this shard: ``"hit"`` (served from the
-    #: store), ``"miss"`` (acquired and published) or ``""`` (cache off).
+    #: store), ``"miss"`` (acquired and published), ``"partial"`` (a
+    #: fan-out shard where some sensors' sub-blocks hit and the rest
+    #: were acquired) or ``""`` (cache off).
     cache: str = ""
-    #: Bytes read from (hit) or written to (miss) the block store.
+    #: Bytes read from plus bytes written to the block store.
     cache_nbytes: int = 0
+    #: The read/write split of :attr:`cache_nbytes` (a plain hit is all
+    #: read, a plain miss all written; only fan-out partials mix).
+    cache_bytes_read: int = 0
+    cache_bytes_written: int = 0
+    #: Fan-out sub-block outcomes: per-sensor lookups within a fan-out
+    #: shard (a full N-sensor hit counts N sub-hits; single-sensor
+    #: shards leave both at 0 — their outcome is :attr:`cache` alone).
+    cache_sub_hits: int = 0
+    cache_sub_misses: int = 0
 
     @property
     def stage_seconds(self) -> Dict[str, float]:
@@ -150,20 +161,39 @@ class EngineMetrics:
         return sum(1 for s in self.shards if s.cache == "miss")
 
     @property
+    def cache_partial(self) -> int:
+        """Fan-out shards where only some sensors' sub-blocks hit."""
+        return sum(1 for s in self.shards if s.cache == "partial")
+
+    @property
+    def cache_sub_hits(self) -> int:
+        """Per-sensor sub-block hits across all shards (distinct from
+        :attr:`cache_hits`, which counts whole shards where *every*
+        sensor hit)."""
+        return sum(s.cache_sub_hits for s in self.shards)
+
+    @property
+    def cache_sub_misses(self) -> int:
+        """Per-sensor sub-block misses across all shards."""
+        return sum(s.cache_sub_misses for s in self.shards)
+
+    @property
     def cache_hit_rate(self) -> float:
-        """Hits over cache-visible shards (0.0 with the cache off)."""
-        lookups = self.cache_hits + self.cache_misses
+        """Full-shard hits over cache-visible shards (partially-hit
+        fan-out shards count as lookups, not hits; 0.0 with the cache
+        off)."""
+        lookups = self.cache_hits + self.cache_misses + self.cache_partial
         return self.cache_hits / lookups if lookups else 0.0
 
     @property
     def cache_bytes_read(self) -> int:
-        """Bytes served from the store across all hit shards."""
-        return sum(s.cache_nbytes for s in self.shards if s.cache == "hit")
+        """Bytes served from the store across all shards."""
+        return sum(s.cache_bytes_read for s in self.shards)
 
     @property
     def cache_bytes_written(self) -> int:
-        """Bytes published to the store across all miss shards."""
-        return sum(s.cache_nbytes for s in self.shards if s.cache == "miss")
+        """Bytes published to the store across all shards."""
+        return sum(s.cache_bytes_written for s in self.shards)
 
     def cache_summary(self) -> Dict[str, object]:
         """Flat JSON-friendly cache view of this run."""
@@ -171,6 +201,9 @@ class EngineMetrics:
             "enabled": self.cache_enabled,
             "hits": self.cache_hits,
             "misses": self.cache_misses,
+            "partial": self.cache_partial,
+            "sub_hits": self.cache_sub_hits,
+            "sub_misses": self.cache_sub_misses,
             "hit_rate": round(self.cache_hit_rate, 4),
             "bytes_read": self.cache_bytes_read,
             "bytes_written": self.cache_bytes_written,
@@ -191,10 +224,16 @@ class EngineMetrics:
         split = ", ".join(f"{k} {v:.2f}s" for k, v in sorted(stages.items()))
         cache = ""
         if self.cache_enabled:
+            lookups = self.cache_hits + self.cache_misses + self.cache_partial
             cache = (
-                f"; cache {self.cache_hits}/{self.cache_hits + self.cache_misses}"
+                f"; cache {self.cache_hits}/{lookups}"
                 f" hits ({self.cache_hit_rate:.0%})"
             )
+            if self.cache_partial:
+                cache += (
+                    f", {self.cache_partial} partial"
+                    f" ({self.cache_sub_hits} sub-hits)"
+                )
         rate = (
             f"{self.items_per_second:.0f}/s" if self.wall_seconds > 0 else "n/a"
         )

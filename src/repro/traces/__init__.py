@@ -9,7 +9,12 @@ drives the victim, runs the PDN and sensor models and collects the
 readout matrix.
 """
 
-from repro.traces.acquisition import AESTraceAcquisition, characterize_readouts
+from repro.traces.acquisition import (
+    AcquisitionSpec,
+    AESTraceAcquisition,
+    MultiSensorAcquisition,
+    characterize_readouts,
+)
 from repro.traces.blockstore import (
     SCHEMA_VERSION,
     BlockStore,
@@ -25,7 +30,9 @@ from repro.traces.store import TraceSet
 from repro.traces.transport import AcquisitionPlan, CaptureBuffer, UartLink
 
 __all__ = [
+    "AcquisitionSpec",
     "AESTraceAcquisition",
+    "MultiSensorAcquisition",
     "characterize_readouts",
     "TraceSet",
     "AcquisitionPlan",

@@ -1,11 +1,15 @@
 """Acquisition harnesses: drive victims, run the PDN, sample sensors.
 
-Two harnesses:
+Three harnesses:
 
 * :class:`AESTraceAcquisition` — the key-extraction campaign (Section
   IV-B): per encryption, the AES core's per-cycle switching current is
   injected at its placement, propagated through the PDN surrogate, and
   the sensor's readouts over the encryption window form one trace.
+  Canonically constructed from an :class:`AcquisitionSpec`.
+* :class:`MultiSensorAcquisition` — N sensors/placements observing the
+  *same* victim campaign: one shared AES+PDN pass per block fans out to
+  per-sensor trace sets, bit-identical to N independent campaigns.
 * :func:`characterize_readouts` — the characterization workloads
   (Section IV-A): sample a sensor under a steady power-virus activity
   level.
@@ -30,7 +34,8 @@ from __future__ import annotations
 
 import numbers
 import warnings
-from typing import Dict, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -91,11 +96,19 @@ def _coerce_group_count(active_groups, n_groups: int) -> int:
     return count
 
 
-class AESTraceAcquisition:
-    """Collect AES power traces through an on-chip sensor.
+@dataclass(frozen=True)
+class AcquisitionSpec:
+    """Declarative description of one (sensor, placement) acquisition.
 
-    Parameters
-    ----------
+    The single construction currency of the acquisition API: harnesses
+    are built from specs (``AESTraceAcquisition(spec=spec)`` or
+    ``spec.build()``), fan-out campaigns take lists of them
+    (:class:`MultiSensorAcquisition`), and the experiment modules'
+    placement helpers (:func:`repro.experiments.common.placement_spec`)
+    return them.
+
+    Fields
+    ------
     sensor:
         A placed, calibrated sensor.
     coupling:
@@ -105,36 +118,87 @@ class AESTraceAcquisition:
     aes_position:
         Die position of the AES core (its placement centroid).
     noise:
-        Voltage noise model; defaults to white noise at the constants'
-        RMS level.
+        Voltage noise model; ``None`` means white noise at the sensor
+        constants' RMS level.
     kernel:
-        Which acquisition kernel runs :meth:`acquire_block`: ``None``
-        (the process default, normally ``"fused"``), a registered name
-        (``"fused"``, ``"reference"``) or an
+        Compute backend for :meth:`AESTraceAcquisition.acquire_block`:
+        ``None`` (the process default, normally ``"fused"``), a
+        registered name, or an
         :class:`~repro.kernels.AcquisitionKernel` instance.
     """
 
-    def __init__(
-        self,
-        sensor: VoltageSensor,
-        coupling: CouplingModel,
-        hw_model: AESHardwareModel,
-        aes_position: Tuple[float, float],
-        noise: Optional[NoiseModel] = None,
-        kernel: Optional[Union[str, AcquisitionKernel]] = None,
-    ) -> None:
-        self.sensor = sensor
-        self.coupling = coupling
-        self.hw_model = hw_model
-        self.aes_position = aes_position
-        self.kernel = get_kernel(kernel)
-        constants = sensor.constants
+    sensor: VoltageSensor
+    coupling: CouplingModel
+    hw_model: AESHardwareModel
+    aes_position: Tuple[float, float]
+    noise: Optional[NoiseModel] = None
+    kernel: Optional[Union[str, AcquisitionKernel]] = None
+
+    def build(self) -> "AESTraceAcquisition":
+        """Construct the acquisition harness this spec describes."""
+        return AESTraceAcquisition(spec=self)
+
+
+class AESTraceAcquisition:
+    """Collect AES power traces through an on-chip sensor.
+
+    Canonically constructed from a single :class:`AcquisitionSpec`::
+
+        acq = AESTraceAcquisition(spec=spec)   # or spec.build()
+
+    The original positional/keyword signature ``(sensor, coupling,
+    hw_model, aes_position, noise=None, kernel=None)`` still works but
+    is deprecated; it routes the arguments through ``AcquisitionSpec``
+    and emits a :class:`DeprecationWarning`.  See the spec's field
+    documentation for parameter semantics.
+    """
+
+    def __init__(self, *args, spec: Optional[AcquisitionSpec] = None, **kwargs) -> None:
+        if spec is not None:
+            if args or kwargs:
+                raise TypeError(
+                    "AESTraceAcquisition(spec=...) does not accept additional "
+                    "arguments — put everything in the AcquisitionSpec"
+                )
+            if not isinstance(spec, AcquisitionSpec):
+                raise TypeError(
+                    f"spec must be an AcquisitionSpec, got {type(spec).__name__}"
+                )
+        else:
+            warnings.warn(
+                "constructing AESTraceAcquisition from individual arguments "
+                "is deprecated; build an AcquisitionSpec and pass spec=... "
+                "(or call spec.build())",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            spec = AcquisitionSpec(*args, **kwargs)
+        self.sensor = spec.sensor
+        self.coupling = spec.coupling
+        self.hw_model = spec.hw_model
+        self.aes_position = spec.aes_position
+        self.kernel = get_kernel(spec.kernel)
+        constants = spec.sensor.constants
         # White noise only by default: campaign-scale drift is a
         # separate, explicitly-opted-in effect (pass a NoiseModel with
         # drift_rms set) so that trace-count results stay comparable
         # across AES frequencies, whose traces differ in length.
-        self.noise = noise or NoiseModel(
+        self.noise = spec.noise or NoiseModel(
             white_rms=constants.voltage_noise_rms, drift_rms=0.0
+        )
+
+    @property
+    def spec(self) -> AcquisitionSpec:
+        """This harness's configuration as a (normalized) spec — noise
+        and kernel are the resolved instances, not the ``None``
+        placeholders they may have been built from."""
+        return AcquisitionSpec(
+            sensor=self.sensor,
+            coupling=self.coupling,
+            hw_model=self.hw_model,
+            aes_position=self.aes_position,
+            noise=self.noise,
+            kernel=self.kernel,
         )
 
     def default_n_samples(self) -> int:
@@ -263,6 +327,160 @@ class AESTraceAcquisition:
             key=aes.key,
             metadata=self.trace_metadata(aes),
         )
+
+
+class MultiSensorAcquisition:
+    """N sensors/placements observing one AES victim campaign.
+
+    Accepts a list of :class:`AcquisitionSpec` (or built
+    :class:`AESTraceAcquisition`) entries and fans every block's shared
+    AES+PDN pass out to all of them via
+    :meth:`~repro.kernels.AcquisitionKernel.acquire_many`.  Sensor
+    type, placement, coupling and AES position are free to vary per
+    entry; the hardware model and noise model must be value-equal and
+    the kernel must be the same instance (the fan-out models one
+    physical victim run, so there is exactly one cipher schedule and
+    one acquisition RNG stream).
+
+    The per-sensor results are bit-identical to N independent
+    single-sensor campaigns over the same seed — that is the
+    ``acquire_many`` contract, differentially tested in
+    ``tests/test_fanout.py`` — so fan-out is purely a cost optimization
+    and per-sensor cache blocks stay interchangeable with single-sensor
+    ones.
+    """
+
+    def __init__(
+        self,
+        acquisitions: Sequence[Union[AcquisitionSpec, AESTraceAcquisition]],
+    ) -> None:
+        harnesses: List[AESTraceAcquisition] = []
+        for entry in acquisitions:
+            if isinstance(entry, AESTraceAcquisition):
+                harnesses.append(entry)
+            elif isinstance(entry, AcquisitionSpec):
+                harnesses.append(entry.build())
+            else:
+                raise AcquisitionError(
+                    "MultiSensorAcquisition entries must be AcquisitionSpec "
+                    f"or AESTraceAcquisition, got {type(entry).__name__}"
+                )
+        if not harnesses:
+            raise AcquisitionError(
+                "MultiSensorAcquisition needs at least one acquisition"
+            )
+        first = harnesses[0]
+        hw_token = first.hw_model.cache_token()
+        noise_token = first.noise.cache_token()
+        for harness in harnesses[1:]:
+            if harness.hw_model.cache_token() != hw_token:
+                raise AcquisitionError(
+                    "fan-out acquisitions must share one hardware-model "
+                    "configuration (same clocks and currents)"
+                )
+            if harness.noise.cache_token() != noise_token:
+                raise AcquisitionError(
+                    "fan-out acquisitions must share one noise-model "
+                    "configuration"
+                )
+            if harness.kernel is not first.kernel:
+                raise AcquisitionError(
+                    "fan-out acquisitions must share one kernel instance"
+                )
+        self.acquisitions = harnesses
+        self.kernel = first.kernel
+
+    def __len__(self) -> int:
+        return len(self.acquisitions)
+
+    def __iter__(self) -> Iterator[AESTraceAcquisition]:
+        return iter(self.acquisitions)
+
+    def __getitem__(self, index: int) -> AESTraceAcquisition:
+        return self.acquisitions[index]
+
+    def default_n_samples(self) -> int:
+        """Shared trace length (the hardware models are value-equal)."""
+        return self.acquisitions[0].default_n_samples()
+
+    def cache_tokens(self) -> List[Dict[str, object]]:
+        """Per-sensor cache tokens — each is exactly the token the
+        sensor's standalone harness would produce, which is what keeps
+        fan-out and single-sensor campaigns cache-compatible."""
+        return [harness.cache_token() for harness in self.acquisitions]
+
+    def acquire_block_many(
+        self,
+        aes: AES128,
+        plaintexts: np.ndarray,
+        rng: np.random.Generator,
+        n_samples: int,
+        profile: Optional[StageProfile] = None,
+        skip=(),
+    ) -> list:
+        """One fan-out block: per-sensor ``(readouts, ciphertexts)``
+        tuples (``None`` at skipped indices), under the shared-kernel
+        :meth:`~repro.kernels.AcquisitionKernel.acquire_many`
+        contract."""
+        return self.kernel.acquire_many(
+            self.acquisitions, aes, plaintexts, rng, n_samples,
+            profile=profile, skip=skip,
+        )
+
+    def collect(
+        self,
+        n_traces: int,
+        *,
+        key,
+        rng: RngLike = None,
+        chunk_size: int = 4096,
+        n_samples: Optional[int] = None,
+    ) -> List[TraceSet]:
+        """Serial fan-out collection: one :class:`TraceSet` per sensor.
+
+        Mirrors :meth:`AESTraceAcquisition.collect`; each returned
+        trace set is bit-identical to what its sensor's standalone
+        harness would have collected with the same ``rng`` seed.  For
+        multi-core collection use
+        :meth:`repro.runtime.Engine.collect_many`.
+        """
+        if n_traces <= 0:
+            raise AcquisitionError("n_traces must be positive")
+        validate_chunk_size(chunk_size)
+        rng = make_rng(rng)
+        aes = AES128(key)
+        if n_samples is None:
+            n_samples = self.default_n_samples()
+
+        n_sensors = len(self.acquisitions)
+        traces = [
+            np.empty((n_traces, n_samples), dtype=np.int16)
+            for _ in range(n_sensors)
+        ]
+        pts = np.empty((n_traces, 16), dtype=np.uint8)
+        cts = np.empty((n_traces, 16), dtype=np.uint8)
+
+        done = 0
+        while done < n_traces:
+            m = min(chunk_size, n_traces - done)
+            chunk_pts = rng.integers(0, 256, size=(m, 16), dtype=np.uint8)
+            results = self.acquire_block_many(aes, chunk_pts, rng, n_samples)
+            pts[done : done + m] = chunk_pts
+            cts[done : done + m] = results[0][1]
+            for index, (readouts, _) in enumerate(results):
+                traces[index][done : done + m] = readouts
+            done += m
+
+        return [
+            TraceSet(
+                traces=traces[index],
+                plaintexts=pts,
+                ciphertexts=cts,
+                key=aes.key,
+                metadata=harness.trace_metadata(aes),
+            )
+            for index, harness in enumerate(self.acquisitions)
+        ]
 
 
 def characterize_droop(

@@ -183,6 +183,36 @@ def _serialize(key: str, arrays: Mapping[str, np.ndarray], meta: Optional[Mappin
     return head + b"\x00" * _pad(prefix_len) + payload
 
 
+def peek_block_meta(path) -> Dict[str, object]:
+    """The ``meta`` mapping of a block file, from its header alone.
+
+    Reads only the length-prefixed JSON header — no payload bytes, no
+    digest work — so sweeping a whole store (as :meth:`BlockStore.
+    stats` does to count fan-out blocks) costs one small read per
+    block.  Raises ``ValueError`` on anything that is not a well-formed
+    block header.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    with open(path, "rb") as fh:
+        magic = fh.read(len(MAGIC))
+        if magic != MAGIC:
+            raise ValueError("bad magic (not a block file or truncated)")
+        (header_len,) = struct.unpack(
+            _HEADER_LEN_FMT, fh.read(struct.calcsize(_HEADER_LEN_FMT))
+        )
+        if header_len <= 0 or header_len > size:
+            raise ValueError("implausible header length")
+        try:
+            header = json.loads(fh.read(header_len).decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"unreadable header: {exc}") from None
+    meta = header.get("meta", {})
+    if not isinstance(meta, dict):
+        raise ValueError("block meta is not a mapping")
+    return meta
+
+
 @dataclass
 class CachedBlock:
     """One block read back from the store.
@@ -255,10 +285,18 @@ class StoreStats:
 
     n_blocks: int
     total_bytes: int
+    #: Blocks published by fan-out campaigns (sub-blocks of a
+    #: multi-sensor shard, tagged via their ``fanout`` meta entry).
+    #: They are addressed by the same keys single-sensor campaigns use;
+    #: the tag only records who published first.
+    fanout_blocks: int = 0
 
     def summary(self) -> str:
         """One human-readable line."""
-        return f"{self.n_blocks} blocks, {self.total_bytes / 1e6:.1f} MB"
+        line = f"{self.n_blocks} blocks, {self.total_bytes / 1e6:.1f} MB"
+        if self.fanout_blocks:
+            line += f", {self.fanout_blocks} from fan-out"
+        return line
 
 
 @dataclass
@@ -477,16 +515,24 @@ class BlockStore:
 
     # ------------------------------------------------------------------
     def stats(self) -> StoreStats:
-        """Current on-disk block count and total size."""
+        """Current on-disk block count, total size, and how many blocks
+        were published by fan-out campaigns (a header-only peek per
+        block — the payloads are never touched)."""
         n = 0
         total = 0
+        fanout = 0
         for path in self._iter_block_paths():
             try:
                 total += path.stat().st_size
                 n += 1
             except OSError:
                 continue
-        return StoreStats(n_blocks=n, total_bytes=total)
+            try:
+                if "fanout" in peek_block_meta(path):
+                    fanout += 1
+            except (OSError, ValueError):
+                pass
+        return StoreStats(n_blocks=n, total_bytes=total, fanout_blocks=fanout)
 
     def verify(self, delete_bad: bool = False) -> VerifyReport:
         """Re-check every block's digest; optionally delete failures."""
