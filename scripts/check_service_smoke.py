@@ -1,0 +1,165 @@
+"""Smoke-test the campaign service end to end, process boundary and all.
+
+Starts ``repro serve`` as a subprocess on a temp unix socket, then —
+through the real blocking client — asserts the service contract:
+
+* a submitted quick fig5 campaign streams its key-rank checkpoints and
+  completes, and its run directory holds a ``run_end status=ok`` run
+  log with a result digest (the per-request SLO record);
+* a second identical submission from another tenant is served from the
+  shared block cache (hits > 0, misses == 0) with the bit-identical
+  result digest and checkpoint stream;
+* ``status``/``jobs`` agree with the watched outcome, and ``shutdown``
+  stops the server cleanly.
+
+Exits non-zero on any violation.  Used by CI's service-smoke job::
+
+    PYTHONPATH=src python scripts/check_service_smoke.py
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+#: Small fig5 campaign: 4 shards, a checkpoint every 1024 traces.
+OPTIONS = {"n_traces": 4096, "step": 1024, "rating_at": 2048}
+SHARD_SIZE = 1024
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=7, help="root seed")
+    parser.add_argument(
+        "--startup-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for the server socket (default: 30)",
+    )
+    return parser
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def wait_for_socket(client, server, timeout: float) -> None:
+    from repro.errors import ServiceError
+
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if server.poll() is not None:
+            fail(f"server exited early with code {server.returncode}")
+        try:
+            client.ping()
+            return
+        except ServiceError:
+            time.sleep(0.1)
+    fail(f"server socket not up after {timeout:.0f}s")
+
+
+def run_campaign(client, tenant: str, seed: int):
+    """Submit + watch one campaign; returns (job, checkpoints)."""
+    checkpoints = []
+    final = None
+    for line in client.submit_and_watch(
+        tenant,
+        "fig5",
+        seed=seed,
+        shard_size=SHARD_SIZE,
+        options=OPTIONS,
+    ):
+        if "event" in line:
+            if line["event"]["kind"] == "checkpoint":
+                checkpoints.append(line["event"]["data"])
+        else:
+            final = line
+    if final is None or not final.get("ok"):
+        fail(f"submit/watch for {tenant} failed: {final}")
+    return final["job"], checkpoints
+
+
+def main() -> int:
+    args = build_parser().parse_args()
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+    from repro.service.client import ServiceClient
+    from repro.telemetry.runlog import read_run
+
+    tmp = tempfile.mkdtemp(prefix="repro-service-smoke-")
+    socket_path = os.path.join(tmp, "svc.sock")
+    run_root = os.path.join(tmp, "runs")
+    server = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--socket",
+            socket_path,
+            "--cache-dir",
+            os.path.join(tmp, "cache"),
+            "--run-root",
+            run_root,
+        ],
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+    client = ServiceClient(socket_path)
+    try:
+        wait_for_socket(client, server, args.startup_timeout)
+
+        job1, checkpoints1 = run_campaign(client, "alice", args.seed)
+        if job1["state"] != "completed":
+            fail(f"first campaign not completed: {job1}")
+        expected_points = OPTIONS["n_traces"] // OPTIONS["step"]
+        if len(checkpoints1) != expected_points:
+            fail(
+                f"expected {expected_points} streamed checkpoints, "
+                f"got {len(checkpoints1)}"
+            )
+        run_dir = job1["result"]["run_dir"]
+        record = read_run(run_dir)
+        end = record.one("run_end")
+        if end["status"] != "ok":
+            fail(f"run log status {end['status']!r} in {run_dir}")
+        digest = record.one("metrics")["result_digest"]
+        if digest != job1["result"]["result_digest"]:
+            fail("run-log digest does not match the streamed payload")
+        print(f"first campaign ok: {len(checkpoints1)} checkpoints, {run_dir}")
+
+        job2, checkpoints2 = run_campaign(client, "bob", args.seed)
+        cache2 = job2["result"]["cache"]
+        if not (cache2["hits"] > 0 and cache2["misses"] == 0):
+            fail(f"second campaign not served from cache: {cache2}")
+        if job2["result"]["result_digest"] != digest:
+            fail("warm run's result digest differs from the cold run")
+        if checkpoints2 != checkpoints1:
+            fail("warm run's checkpoint stream differs from the cold run")
+        print(f"second campaign ok: warm cache {cache2}")
+
+        status = client.status(job2["id"])
+        if status["state"] != "completed" or status["n_checkpoints"] != expected_points:
+            fail(f"status disagrees with watch: {status}")
+        states = [job["state"] for job in client.jobs()]
+        if states != ["completed", "completed"]:
+            fail(f"unexpected job states: {states}")
+
+        client.shutdown()
+        server.wait(timeout=args.startup_timeout)
+        if server.returncode != 0:
+            fail(f"server exited with code {server.returncode}")
+        print("service smoke ok: streamed, cached, recorded, shut down")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.terminate()
+            try:
+                server.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                server.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,9 @@ Usage::
     python -m repro.cli cache stats --cache-dir ~/.cache/repro-blocks
     python -m repro.cli report summary runs/a
     python -m repro.cli report diff runs/a runs/b
+    python -m repro.cli serve --run-root runs/service &
+    python -m repro.cli submit fig5 --tenant alice --watch
+    python -m repro.cli status job-000001
     REPRO_FULL=1 python -m repro.cli all
 
 Experiments are resolved through :mod:`repro.experiments.registry` and
@@ -20,7 +23,11 @@ cache — independent of cache state: a warm cache only changes wall
 clock.  The ``cache`` subcommand inspects and maintains a store
 (``stats`` / ``verify`` / ``clear``); the ``report`` subcommand
 summarizes a telemetry run directory (``--run-dir``) and diffs two runs
-with threshold-based regression verdicts.
+with threshold-based regression verdicts.  The campaign-service
+subcommands (``serve`` plus the thin client ``submit`` / ``status`` /
+``watch`` / ``cancel`` / ``jobs``) run experiments as
+admission-controlled multi-tenant jobs over a unix socket
+(:mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -190,6 +197,231 @@ def _cache_main(argv) -> int:
     return 0
 
 
+def build_service_parser() -> argparse.ArgumentParser:
+    """Parser of the campaign-service subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Campaign service: 'serve' runs the multi-tenant job "
+            "service on a unix socket; the thin client subcommands "
+            "(submit/status/watch/cancel/jobs) talk to it."
+        ),
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    def add_socket_argument(sub_parser):
+        sub_parser.add_argument(
+            "--socket",
+            default=None,
+            help=(
+                "service socket path (default: $REPRO_SERVICE_SOCKET, "
+                "else ./repro-service.sock)"
+            ),
+        )
+
+    serve = sub.add_parser("serve", help="run the campaign service")
+    add_socket_argument(serve)
+    serve.add_argument(
+        "--service-workers",
+        type=int,
+        default=2,
+        help="concurrent campaign slots (default: 2)",
+    )
+    serve.add_argument(
+        "--max-active",
+        type=int,
+        default=8,
+        help="per-tenant quota: max queued+running jobs (default: 8)",
+    )
+    serve.add_argument(
+        "--run-root",
+        default=None,
+        help=(
+            "write each job's telemetry run record (manifest + "
+            "run.jsonl) under <run-root>/<job id>; inspect with "
+            "'repro report summary'"
+        ),
+    )
+    _add_cache_arguments(serve)
+
+    submit = sub.add_parser("submit", help="submit a campaign job")
+    add_socket_argument(submit)
+    submit.add_argument("experiment", help="registered experiment name")
+    submit.add_argument("--tenant", default="default", help="tenant name")
+    submit.add_argument(
+        "--scale", choices=("quick", "paper"), default="quick"
+    )
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--workers", type=int, default=1)
+    submit.add_argument("--shard-size", type=int, default=4096)
+    submit.add_argument("--chunk-size", type=int, default=None)
+    submit.add_argument(
+        "--option",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help=(
+            "experiment option override (repeatable); VALUE is parsed "
+            "as JSON, falling back to a plain string"
+        ),
+    )
+    submit.add_argument(
+        "--watch",
+        action="store_true",
+        help="stay connected and stream the job's events to completion",
+    )
+
+    status = sub.add_parser("status", help="one job's snapshot")
+    status.add_argument("job_id")
+    watch = sub.add_parser("watch", help="stream a job's events")
+    watch.add_argument("job_id")
+    cancel = sub.add_parser("cancel", help="request job cancellation")
+    cancel.add_argument("job_id")
+    jobs = sub.add_parser("jobs", help="list all jobs")
+    ping = sub.add_parser("ping", help="service liveness and stats")
+    shutdown = sub.add_parser("shutdown", help="drain and stop the service")
+    for sub_parser in (status, watch, cancel, jobs, ping, shutdown):
+        add_socket_argument(sub_parser)
+    return parser
+
+
+def _parse_option(text: str):
+    """``KEY=VALUE`` with a JSON value, falling back to a string."""
+    import json
+
+    key, sep, value = text.partition("=")
+    if not sep:
+        raise SystemExit(f"bad --option {text!r}: expected KEY=VALUE")
+    try:
+        return key, json.loads(value)
+    except json.JSONDecodeError:
+        return key, value
+
+
+def _print_event(event: dict) -> None:
+    kind = event.get("kind")
+    data = event.get("data", {})
+    if kind == "checkpoint":
+        print(
+            f"  checkpoint {data.get('placement', '?')} "
+            f"n={data.get('n_traces')} "
+            f"log2_rank<={data.get('log2_upper'):.2f}"
+            + (" (broken)" if data.get("recovered") else "")
+        )
+    elif kind == "state":
+        print(f"  state -> {data.get('state')}")
+    else:
+        print(f"  {kind}: {data.get('kind')} {data.get('done')}/{data.get('total')}")
+
+
+def _service_main(argv) -> int:
+    """The ``repro serve|submit|status|watch|cancel|jobs`` entry."""
+    args = build_service_parser().parse_args(argv)
+    from repro.errors import ReproError
+
+    try:
+        if args.action == "serve":
+            import asyncio
+
+            from repro.service.server import serve as serve_async
+
+            asyncio.run(
+                serve_async(
+                    socket_path=args.socket,
+                    workers=args.service_workers,
+                    cache_dir=args.cache_dir,
+                    cache_max_bytes=args.cache_max_bytes,
+                    run_root=args.run_root,
+                    max_active=args.max_active,
+                )
+            )
+            return 0
+
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(args.socket)
+        if args.action == "submit":
+            options = dict(_parse_option(o) for o in args.option)
+            kwargs = dict(
+                scale=args.scale,
+                seed=args.seed,
+                workers=args.workers,
+                shard_size=args.shard_size,
+                chunk_size=args.chunk_size,
+                options=options,
+            )
+            if args.watch:
+                return _drain_stream(
+                    client.submit_and_watch(args.tenant, args.experiment, **kwargs)
+                )
+            job = client.submit(args.tenant, args.experiment, **kwargs)
+            print(f"{job['id']} {job['state']} key={job['key'][:12]}")
+            if job.get("coalesced_into"):
+                print(f"  coalesced into {job['coalesced_into']}")
+            return 0
+        if args.action == "status":
+            job = client.status(args.job_id)
+            print(
+                f"{job['id']} {job['state']} tenant={job['tenant']} "
+                f"experiment={job['experiment']} "
+                f"checkpoints={job['n_checkpoints']}"
+            )
+            if job.get("error"):
+                print(f"  error: {job['error']}")
+            if job.get("result"):
+                metrics = job["result"].get("metrics", {})
+                print("  metrics: " + ", ".join(f"{k}={v}" for k, v in metrics.items()))
+                if job["result"].get("run_dir"):
+                    print(f"  run record: {job['result']['run_dir']}")
+            return 0
+        if args.action == "watch":
+            return _drain_stream(client.watch(args.job_id))
+        if args.action == "cancel":
+            response = client.cancel(args.job_id)
+            job = response["job"]
+            verb = "cancelling" if response["cancelled"] else "already terminal"
+            print(f"{job['id']} {verb} (state={job['state']})")
+            return 0
+        if args.action == "jobs":
+            for job in client.jobs():
+                print(
+                    f"{job['id']} {job['state']:<9} tenant={job['tenant']} "
+                    f"{job['experiment']} seed={job['seed']}"
+                )
+            return 0
+        if args.action == "ping":
+            stats = client.ping()
+            print(f"service up: {stats}")
+            return 0
+        client.shutdown()
+        print("service stopping")
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 130
+
+
+def _drain_stream(stream) -> int:
+    """Print a watch stream; exit code reflects the job's final state."""
+    final = None
+    for line in stream:
+        if "event" in line:
+            _print_event(line["event"])
+        else:
+            final = line
+    if final is None:
+        print("error: stream ended without a final response", file=sys.stderr)
+        return 2
+    if not final.get("ok"):
+        print(f"error: {final.get('error')}", file=sys.stderr)
+        return 2
+    job = final["job"]
+    print(f"{job['id']} finished: {job['state']}")
+    return 0 if job["state"] == "completed" else 1
+
+
 def build_report_parser() -> argparse.ArgumentParser:
     """Parser of the ``report`` run-telemetry subcommand."""
     parser = argparse.ArgumentParser(
@@ -336,6 +568,11 @@ def main(argv=None) -> int:
         return _cache_main(argv[1:])
     if argv and argv[0] == "report":
         return _report_main(argv[1:])
+    if argv and argv[0] in (
+        "serve", "submit", "status", "watch", "cancel", "jobs", "ping",
+        "shutdown",
+    ):
+        return _service_main(argv)
     args = build_parser().parse_args(argv)
     from repro.errors import ReproError
     from repro.experiments import registry

@@ -75,5 +75,23 @@ class AttackError(ReproError):
     """A side-channel attack could not be carried out as requested."""
 
 
+class ServiceError(ReproError):
+    """The campaign service could not carry out a request (unknown job,
+    bad submission, broken quota accounting)."""
+
+
+class QuotaExceededError(ServiceError):
+    """A tenant's submission was refused by admission control: its
+    active job count (queued + running) is at the tenant's quota."""
+
+
+class JobCancelled(ServiceError):
+    """A campaign job was cancelled.
+
+    Raised *inside* the job's progress hook to unwind a running
+    campaign cooperatively at the next checkpoint or shard boundary;
+    the service catches it and marks the job ``cancelled``."""
+
+
 class CovertChannelError(ReproError):
     """Covert-channel transmission could not be decoded as requested."""

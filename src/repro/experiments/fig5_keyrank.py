@@ -72,6 +72,15 @@ def _rank_progress(placement: str, n_traces: int, engine: Engine):
                     f"{placement}: log2 rank <= {point.log2_upper:.1f}"
                     + (" (broken)" if point.recovered else "")
                 ),
+                # Full-precision bounds: relayed checkpoints (campaign
+                # service streams) must be bit-identical to the curve.
+                payload={
+                    "placement": placement,
+                    "n_traces": int(point.n_traces),
+                    "log2_lower": float(point.log2_lower),
+                    "log2_upper": float(point.log2_upper),
+                    "recovered": bool(point.recovered),
+                },
             )
         )
 

@@ -76,6 +76,10 @@ class ProgressEvent:
     ``shard`` is ``None`` for events not tied to one shard (e.g. the
     attack-checkpoint events of streamed campaigns); ``detail`` carries
     an optional human-readable annotation (e.g. the current key rank).
+    ``payload`` carries the event's exact machine-readable values when
+    the emitter has them (e.g. the full-precision key-rank bounds of a
+    ``"keyrank"`` event) — consumers that relay progress off-process
+    (the campaign service) forward it instead of re-parsing ``detail``.
     """
 
     kind: str
@@ -83,6 +87,7 @@ class ProgressEvent:
     total: int
     shard: Optional[ShardMetrics] = None
     detail: str = ""
+    payload: Optional[Dict[str, object]] = None
 
 
 ProgressFn = Callable[[ProgressEvent], None]

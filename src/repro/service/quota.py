@@ -1,0 +1,83 @@
+"""Per-tenant quotas and admission control.
+
+The ledger is deliberately tiny and synchronous: one counter of
+*active* jobs (queued + running, including coalesced followers — a
+follower occupies a slot until its shared run completes) per tenant,
+checked at admission and released exactly once at each job's terminal
+state.  The service serializes all ledger access on the event loop, so
+no locking is needed; the invariants (never negative, never above the
+quota) are enforced loudly rather than assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.errors import ConfigurationError, QuotaExceededError, ServiceError
+
+__all__ = ["QuotaLedger", "TenantQuota"]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission limits for one tenant.
+
+    ``max_active`` bounds the tenant's jobs that are queued or running
+    at once; further submissions are rejected (admission control), not
+    queued — the client owns its retry policy.
+    """
+
+    max_active: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_active < 1:
+            raise ConfigurationError("max_active must be >= 1")
+
+
+class QuotaLedger:
+    """Active-job accounting across tenants."""
+
+    def __init__(
+        self,
+        default: Optional[TenantQuota] = None,
+        per_tenant: Optional[Mapping[str, TenantQuota]] = None,
+    ) -> None:
+        self.default = default or TenantQuota()
+        self.per_tenant: Dict[str, TenantQuota] = dict(per_tenant or {})
+        self._active: Dict[str, int] = {}
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.per_tenant.get(tenant, self.default)
+
+    def active(self, tenant: str) -> int:
+        """The tenant's admitted-and-not-yet-finished job count."""
+        return self._active.get(tenant, 0)
+
+    def admit(self, tenant: str) -> None:
+        """Charge one slot, or raise :class:`QuotaExceededError`."""
+        quota = self.quota_for(tenant)
+        held = self.active(tenant)
+        if held >= quota.max_active:
+            raise QuotaExceededError(
+                f"tenant {tenant!r} has {held} active jobs "
+                f"(quota max_active={quota.max_active})"
+            )
+        self._active[tenant] = held + 1
+
+    def release(self, tenant: str) -> None:
+        """Return one slot; a negative balance is a service bug."""
+        held = self.active(tenant)
+        if held <= 0:
+            raise ServiceError(
+                f"quota release for tenant {tenant!r} with no active jobs "
+                "(double release?)"
+            )
+        if held == 1:
+            del self._active[tenant]
+        else:
+            self._active[tenant] = held - 1
+
+    def as_dict(self) -> Dict[str, int]:
+        """Active counts per tenant (tenants holding >= 1 slot)."""
+        return dict(self._active)

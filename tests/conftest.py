@@ -18,17 +18,14 @@ from repro.fpga.placement import Placer
 try:  # hypothesis is a dev-only dependency; the suite degrades gracefully.
     from hypothesis import HealthCheck, settings as hypothesis_settings
 
-    # filter_too_much is suppressed because hypothesis seeds its
-    # generation constant pool from the numeric literals of every
-    # *imported* local module, so even derandomized draw streams (and
-    # with them the valid/filtered ratio of assume()-heavy strategies)
-    # shift whenever a test's import set or any source literal changes.
-    # The property tests themselves stay deterministic per run.
+    # The suite's strategies are constructive (no assume()-heavy
+    # filtering), so filter_too_much stays enforced: a strategy that
+    # starts rejecting most draws is a bug, not an environment quirk.
     hypothesis_settings.register_profile(
         "repro",
         derandomize=True,
         deadline=None,
-        suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+        suppress_health_check=[HealthCheck.too_slow],
     )
     hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
 except ImportError:  # pragma: no cover - exercised only without hypothesis
