@@ -2,10 +2,14 @@
 
 Not a paper figure — a performance benchmark of the numpy CPA engine
 that stands in for the paper's GPU CPA tool [8], useful for tracking
-regressions in the accumulator hot path.  Records machine-readable
-numbers (traces/second for accumulation, correlation evaluations per
-second, peak RSS) in ``BENCH_cpa.json`` next to
-``BENCH_acquisition.json``.
+regressions in the accumulator hot path.  Both accumulate engines are
+timed — ``batched`` (the stacked-GEMM production path) and ``per-byte``
+(the 16-GEMM reference path) — and their correlations are asserted
+bit-identical before the numbers are trusted.  Records
+machine-readable numbers (traces/second per engine, the batched
+speedup, correlation evaluations per second, peak RSS) in
+``BENCH_cpa.json`` next to ``BENCH_acquisition.json``;
+``scripts/check_cpa_regression.py`` gates CI on the speedup.
 """
 
 import json
@@ -17,7 +21,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.attacks.cpa import CPAAttack, hypothesis_table
+from repro.attacks.cpa import CPAAttack, hypothesis_table, hypothesis_table_gather
 from conftest import full_scale, run_once
 
 N_TRACES, N_SAMPLES = 4000, 45
@@ -40,18 +44,28 @@ def trace_batch():
     traces = rng.integers(0, 48, size=(N_TRACES, N_SAMPLES)).astype(np.int16)
     cts = rng.integers(0, 256, size=(N_TRACES, 16), dtype=np.uint8)
     hypothesis_table()  # build outside the timed region
+    hypothesis_table_gather()
     return traces, cts
+
+
+def _accumulate(traces, cts, mode):
+    attack = CPAAttack(traces.shape[1], accumulate=mode)
+    attack.add_traces(traces, cts)
+    return attack
 
 
 def test_cpa_accumulate_throughput(benchmark, trace_batch):
     traces, cts = trace_batch
 
-    def accumulate():
-        attack = CPAAttack(traces.shape[1])
-        attack.add_traces(traces, cts)
-        return attack
+    attack = benchmark(_accumulate, traces, cts, "batched")
+    benchmark.extra_info["traces_per_round"] = traces.shape[0]
+    assert attack.n_traces == traces.shape[0]
 
-    attack = benchmark(accumulate)
+
+def test_cpa_accumulate_per_byte_throughput(benchmark, trace_batch):
+    traces, cts = trace_batch
+
+    attack = benchmark(_accumulate, traces, cts, "per-byte")
     benchmark.extra_info["traces_per_round"] = traces.shape[0]
     assert attack.n_traces == traces.shape[0]
 
@@ -61,14 +75,20 @@ def test_cpa_correlation_evaluation(benchmark, trace_batch):
     attack = CPAAttack(traces.shape[1])
     attack.add_traces(traces, cts)
 
-    rho = benchmark(attack.correlations)
+    def correlate():
+        # Time the finalize, not the memo hits (attack + accumulator).
+        attack._corr_cache = None
+        attack._stacked._rho = None
+        return attack.correlations()
+
+    rho = benchmark(correlate)
     assert rho.shape == (16, 256, traces.shape[1])
     assert np.all(np.abs(rho) <= 1.0 + 1e-9)
 
 
 def test_cpa_throughput_report(benchmark, trace_batch):
-    """Drive the accumulate and correlation paths directly (one
-    unmeasured warm-up plus ``N_ROUNDS`` measured rounds each) and
+    """Drive both accumulate engines and the correlation path directly
+    (one unmeasured warm-up plus ``N_ROUNDS`` measured rounds each) and
     write ``BENCH_cpa.json``.
 
     Throughput is reported from the per-round *minimum* — the least
@@ -77,13 +97,8 @@ def test_cpa_throughput_report(benchmark, trace_batch):
     """
     traces, cts = trace_batch
 
-    def accumulate():
-        attack = CPAAttack(traces.shape[1])
-        attack.add_traces(traces, cts)
-        return attack
-
     def timed_rounds(fn):
-        fn()  # warm-up: hypothesis gathers, BLAS threads
+        fn()  # warm-up: hypothesis gathers, scratch buffers, BLAS threads
         seconds = []
         for _ in range(N_ROUNDS):
             t0 = time.perf_counter()
@@ -91,9 +106,29 @@ def test_cpa_throughput_report(benchmark, trace_batch):
             seconds.append(time.perf_counter() - t0)
         return seconds
 
-    accumulate_seconds = timed_rounds(accumulate)
-    attack = accumulate()
-    correlate_seconds = timed_rounds(attack.correlations)
+    def engine_stats(mode):
+        seconds = timed_rounds(lambda: _accumulate(traces, cts, mode))
+        return {
+            "seconds_per_round": sum(seconds) / N_ROUNDS,
+            "best_seconds_per_round": min(seconds),
+            "traces_per_second": N_ROUNDS * N_TRACES / sum(seconds),
+            "best_traces_per_second": N_TRACES / min(seconds),
+        }
+
+    batched_stats = engine_stats("batched")
+    per_byte_stats = engine_stats("per-byte")
+
+    attack = _accumulate(traces, cts, "batched")
+    reference = _accumulate(traces, cts, "per-byte")
+    # The speedup only counts if the engines agree bit for bit.
+    assert np.array_equal(attack.correlations(), reference.correlations())
+
+    def correlate():
+        attack._corr_cache = None
+        attack._stacked._rho = None
+        return attack.correlations()
+
+    correlate_seconds = timed_rounds(correlate)
 
     report = {
         "config": {
@@ -101,12 +136,12 @@ def test_cpa_throughput_report(benchmark, trace_batch):
             "n_samples": N_SAMPLES,
             "n_rounds": N_ROUNDS,
         },
-        "accumulate": {
-            "seconds_per_round": sum(accumulate_seconds) / N_ROUNDS,
-            "best_seconds_per_round": min(accumulate_seconds),
-            "traces_per_second": N_ROUNDS * N_TRACES / sum(accumulate_seconds),
-            "best_traces_per_second": N_TRACES / min(accumulate_seconds),
-        },
+        "accumulate": batched_stats,
+        "accumulate_per_byte": per_byte_stats,
+        "batched_speedup": (
+            batched_stats["best_traces_per_second"]
+            / per_byte_stats["best_traces_per_second"]
+        ),
         "correlations": {
             "seconds_per_eval": sum(correlate_seconds) / N_ROUNDS,
             "best_seconds_per_eval": min(correlate_seconds),
@@ -116,9 +151,15 @@ def test_cpa_throughput_report(benchmark, trace_batch):
     }
     OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
 
-    run_once(benchmark, accumulate)
+    run_once(benchmark, lambda: _accumulate(traces, cts, "batched"))
     benchmark.extra_info["traces_per_s"] = round(
         report["accumulate"]["traces_per_second"]
+    )
+    benchmark.extra_info["per_byte_traces_per_s"] = round(
+        report["accumulate_per_byte"]["traces_per_second"]
+    )
+    benchmark.extra_info["batched_speedup"] = round(
+        report["batched_speedup"], 2
     )
     benchmark.extra_info["peak_rss_mb"] = round(
         report["peak_rss_bytes"] / 1e6

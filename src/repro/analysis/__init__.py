@@ -7,6 +7,8 @@ from repro.analysis.stats import (
     welch_t_test,
 )
 from repro.analysis.streaming import (
+    SharedTraceMoments,
+    StackedStreamingPearson,
     StreamingDiffMeans,
     StreamingPearson,
     StreamingWelchT,
@@ -22,6 +24,8 @@ __all__ = [
     "pearson",
     "snr",
     "welch_t_test",
+    "SharedTraceMoments",
+    "StackedStreamingPearson",
     "StreamingDiffMeans",
     "StreamingPearson",
     "StreamingWelchT",

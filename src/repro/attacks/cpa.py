@@ -20,6 +20,29 @@ correlation needs, so rank-vs-trace-count curves (Fig. 5/6) reuse all
 earlier work, and it is fully vectorized — hypotheses for all 256
 guesses of a byte come from one precomputed ``(256, 256, 256)`` lookup
 table (the numpy stand-in for the paper's GPU CPA tool [8]).
+
+Two accumulate engines drive the same exact sums (selected by the
+``accumulate=`` argument, defaulting through :mod:`repro.backends`):
+
+``"batched"`` (default)
+    One chunk is folded with **one** stacked GEMM over an
+    ``(m, 16*256)`` hypothesis matrix gathered from a cached
+    guess-contiguous table, and the trace sums are computed once per
+    chunk in a shared accumulator instead of 16 times.  The hypothesis
+    sums are taken on the integer side (narrow exact sums over the
+    uint8 gather) and the cross GEMM runs in float32 whenever an
+    exactness bound
+    proves every partial sum is an integer below 2**24 — narrower
+    arithmetic, identical bits.
+``"per-byte"``
+    The legacy 16-small-GEMM engine over per-byte
+    :class:`~repro.analysis.streaming.StreamingPearson` accumulators.
+    Kept as the differential-testing oracle and benchmark baseline.
+
+Both engines keep the exact integer-in-float64 sums of the
+reproducibility contract, so correlations, key ranks and state
+snapshots are bit-identical between them at any chunk size or merge
+order — the property ``tests/test_cpa_batched.py`` pins down.
 """
 
 from __future__ import annotations
@@ -28,7 +51,8 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.analysis.streaming import StreamingPearson
+from repro.analysis.streaming import StackedStreamingPearson, StreamingPearson
+from repro.backends import cpa_accumulate_mode
 from repro.errors import AttackError
 from repro.traces.store import TraceSet
 from repro.victims.aes.core import SHIFT_ROWS_IDX
@@ -36,6 +60,44 @@ from repro.victims.aes.key_schedule import invert_key_schedule
 from repro.victims.aes.sbox import HW8, INV_SBOX
 
 _HYP_TABLE: Optional[np.ndarray] = None
+_HYP_TABLE_GATHER: Optional[np.ndarray] = None
+
+#: Rows per internal tile of the batched engine: bounds the gather /
+#: GEMM scratch (~8 MB uint8 + ~16 MB float32) no matter how large a
+#: chunk callers feed, and keeps the working set near-cache-resident —
+#: measured faster than 2048/4096-row tiles on the bench campaign.
+#: Tiling is sum-exact, so it never changes a bit of the result.
+_BATCH_TILE_ROWS = 1024
+
+#: The float32 GEMM is used when every partial sum is provably an
+#: integer below this (2**24): float32 addition of exact integers in
+#: range is itself exact.
+_F32_EXACT_LIMIT = float(1 << 24)
+
+#: Largest hypothesis value (a Hamming weight of one byte).
+_MAX_HW = 8.0
+
+#: Process-wide scratch for the batched engine, shared by every
+#: :class:`CPAAttack` (engine workers build one attack per shard;
+#: per-instance buffers would re-fault ~25 MB of pages per shard).
+#: Buffers are grow-only, used only within one ``_add_traces_batched``
+#: call, and never carry state between calls, so sharing is safe even
+#: with interleaved attacks.
+_SCRATCH_POOL: dict = {}
+
+
+def _pool_array(name: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+    """A reusable scratch buffer of at least ``shape``, viewed to it."""
+    arr = _SCRATCH_POOL.get(name)
+    if arr is None or arr.ndim != len(shape) or any(
+        have < want for have, want in zip(arr.shape, shape)
+    ):
+        grown = shape if arr is None or arr.ndim != len(shape) else tuple(
+            max(have, want) for have, want in zip(arr.shape, shape)
+        )
+        arr = np.empty(grown, dtype=dtype)
+        _SCRATCH_POOL[name] = arr
+    return arr[tuple(slice(0, want) for want in shape)]
 
 
 def hypothesis_table() -> np.ndarray:
@@ -51,16 +113,38 @@ def hypothesis_table() -> np.ndarray:
     return _HYP_TABLE
 
 
+def hypothesis_table_gather() -> np.ndarray:
+    """:func:`hypothesis_table` rearranged for the batched gather:
+    ``(ct_target * 256 + ct_partner, guess)``, guess-contiguous.
+
+    Cached once per process.  One ``np.take`` over trace codes pulls a
+    whole ``(m, 16, 256)`` hypothesis block out of it with contiguous
+    256-entry row copies — the per-chunk rebuild-and-cast of the old
+    per-byte path is gone, and the float conversion happens once per
+    tile as a single bulk pass into a preallocated scratch buffer
+    (measured faster than gathering from a float64 view of the table,
+    which is 8x the bytes through the cache).
+    """
+    global _HYP_TABLE_GATHER
+    if _HYP_TABLE_GATHER is None:
+        _HYP_TABLE_GATHER = np.ascontiguousarray(
+            hypothesis_table().transpose(1, 2, 0)
+        ).reshape(256 * 256, 256)
+    return _HYP_TABLE_GATHER
+
+
 class CPAAttack:
     """Incremental last-round CPA.
 
-    A thin attack-specific shell over per-byte
-    :class:`~repro.analysis.streaming.StreamingPearson` accumulators:
-    ``add_traces`` folds chunks in, :meth:`merge` combines independently
-    built attacks (the shard path of :meth:`repro.runtime.Engine.
-    stream_attack`), and because readouts and hypotheses are small
-    integers the accumulated sums — hence the correlations and key
-    ranks — are bit-identical for any chunking or merge order.
+    A thin attack-specific shell over streaming Pearson accumulators
+    (one :class:`~repro.analysis.streaming.StackedStreamingPearson` in
+    batched mode, 16 per-byte :class:`~repro.analysis.streaming.
+    StreamingPearson` in reference mode): ``add_traces`` folds chunks
+    in, :meth:`merge` combines independently built attacks (the shard
+    path of :meth:`repro.runtime.Engine.stream_attack`), and because
+    readouts and hypotheses are small integers the accumulated sums —
+    hence the correlations and key ranks — are bit-identical for any
+    chunking, merge order or accumulate engine.
 
     Parameters
     ----------
@@ -71,12 +155,23 @@ class CPAAttack:
         range (the attacker knows the trigger-to-last-round timing, so
         correlating the whole trace is wasted work; ``None`` correlates
         everything).
+    accumulate:
+        ``"batched"``, ``"per-byte"``, or ``None`` to resolve through
+        the active compute backend (``REPRO_BACKEND``): the ``numpy``
+        backend selects the per-byte reference engine, everything else
+        the batched engine.
     """
 
     N_BYTES = 16
     N_GUESSES = 256
 
-    def __init__(self, n_samples: int, sample_window: Optional[Tuple[int, int]] = None) -> None:
+    def __init__(
+        self,
+        n_samples: int,
+        sample_window: Optional[Tuple[int, int]] = None,
+        *,
+        accumulate: Optional[str] = None,
+    ) -> None:
         if n_samples <= 0:
             raise AttackError("n_samples must be positive")
         if sample_window is not None:
@@ -87,10 +182,27 @@ class CPAAttack:
                 )
         self.n_samples = n_samples
         self.sample_window = sample_window
-        self._byte_corr = [
-            StreamingPearson(self.N_GUESSES, self._window_size)
-            for _ in range(self.N_BYTES)
-        ]
+        self.accumulate = cpa_accumulate_mode(accumulate)
+        if self.accumulate == "batched":
+            self._stacked: Optional[StackedStreamingPearson] = (
+                StackedStreamingPearson(
+                    self.N_BYTES, self.N_GUESSES, self._window_size
+                )
+            )
+            self._byte_corr: Optional[list] = None
+        else:
+            self._stacked = None
+            self._byte_corr = [
+                StreamingPearson(self.N_GUESSES, self._window_size)
+                for _ in range(self.N_BYTES)
+            ]
+        self._corr_cache: Optional[np.ndarray] = None
+
+    # -- pickling: keep shard result pipes slim ------------------------
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_corr_cache"] = None
+        return state
 
     @property
     def _window_size(self) -> int:
@@ -101,6 +213,8 @@ class CPAAttack:
     @property
     def n_traces(self) -> int:
         """Traces accumulated so far."""
+        if self._stacked is not None:
+            return self._stacked.n
         return self._byte_corr[0].n
 
     def telemetry_counters(self) -> dict:
@@ -110,7 +224,8 @@ class CPAAttack:
     # ------------------------------------------------------------------
     def add_traces(self, traces: np.ndarray, ciphertexts: np.ndarray) -> None:
         """Accumulate a batch of traces and their ciphertexts."""
-        traces = np.asarray(traces, dtype=np.float64)
+        raw = np.asarray(traces)
+        traces = np.asarray(raw, dtype=np.float64)
         cts = np.asarray(ciphertexts, dtype=np.uint8)
         if traces.ndim != 2 or traces.shape[1] != self.n_samples:
             raise AttackError(
@@ -122,8 +237,13 @@ class CPAAttack:
             raise AttackError("ciphertexts must be (m, 16)")
         if self.sample_window is not None:
             traces = traces[:, self.sample_window[0] : self.sample_window[1]]
+        self._corr_cache = None
+        if self._stacked is not None:
+            self._add_traces_batched(
+                traces, cts, np.issubdtype(raw.dtype, np.integer)
+            )
+            return
         table = hypothesis_table()
-
         for j in range(self.N_BYTES):
             partner = int(SHIFT_ROWS_IDX[j])
             h = table[:, cts[:, j], cts[:, partner]]  # (256, m)
@@ -131,6 +251,73 @@ class CPAAttack:
 
     #: Uniform accumulator-protocol alias used by the streaming engine.
     update = add_traces
+
+    # ------------------------------------------------------------------
+    # Batched accumulate engine
+    # ------------------------------------------------------------------
+    def _add_traces_batched(
+        self, traces: np.ndarray, cts: np.ndarray, integer_traces: bool
+    ) -> None:
+        """Fold one chunk with the stacked-GEMM engine.
+
+        Per row tile: gather the uint8 hypothesis block with one
+        ``np.take``, take the hypothesis sums on the integer side, bulk
+        convert once, and run one stacked GEMM against the (windowed)
+        traces.  Every folded quantity equals the per-byte engine's sum
+        bit for bit: hypothesis values and integer readouts make all
+        partial sums exact, so neither summation order nor narrow
+        accumulators (uint16/int32 hypothesis sums, the float32 GEMM
+        under the 2**24 bound) can change them.
+        """
+        m = traces.shape[0]
+        width = self.N_BYTES * self.N_GUESSES
+        partner = cts[:, SHIFT_ROWS_IDX]
+        table = hypothesis_table_gather()
+        stacked = self._stacked
+        window = self._window_size
+        for start in range(0, m, _BATCH_TILE_ROWS):
+            stop = min(start + _BATCH_TILE_ROWS, m)
+            rows = stop - start
+            # (rows, 16) flat table codes: ct_target * 256 + ct_partner.
+            codes = cts[start:stop].astype(np.int32)
+            codes <<= 8
+            codes |= partner[start:stop]
+            u8 = _pool_array("u8", (rows, self.N_BYTES, self.N_GUESSES), np.uint8)
+            np.take(table, codes, axis=0, out=u8)
+            # Exact narrow sums: per tile s_x <= 8*rows < 2**16 and
+            # s_x2 <= 64*rows < 2**31 (rows <= _BATCH_TILE_ROWS).
+            s_x = u8.sum(axis=0, dtype=np.uint16)
+            sq = _pool_array("sq", (rows, self.N_BYTES, self.N_GUESSES), np.uint8)
+            np.multiply(u8, u8, out=sq)  # HW <= 8, squares fit uint8
+            s_x2 = sq.sum(axis=0, dtype=np.int32)
+
+            y = traces[start:stop]
+            s_y = y.sum(axis=0)
+            s_y2 = np.einsum("ij,ij->j", y, y)
+
+            y_max = float(np.abs(y).max()) if y.size else 0.0
+            if integer_traces and rows * _MAX_HW * max(y_max, 1.0) < _F32_EXACT_LIMIT:
+                x = _pool_array("f32", (rows, width), np.float32)
+                np.copyto(
+                    x.reshape(rows, self.N_BYTES, self.N_GUESSES),
+                    u8,
+                    casting="unsafe",
+                )
+                s_xy = np.matmul(
+                    x.T, y.astype(np.float32),
+                    out=_pool_array("xy32", (width, window), np.float32),
+                )
+            else:
+                x = _pool_array("f64", (rows, width), np.float64)
+                np.copyto(
+                    x.reshape(rows, self.N_BYTES, self.N_GUESSES),
+                    u8,
+                    casting="unsafe",
+                )
+                s_xy = np.matmul(
+                    x.T, y, out=_pool_array("xy64", (width, window), np.float64)
+                )
+            stacked.fold_sums(rows, s_x, s_x2, s_xy, s_y, s_y2)
 
     def add_trace_set(self, trace_set: TraceSet, limit: Optional[int] = None) -> None:
         """Accumulate (the first ``limit`` traces of) a
@@ -141,9 +328,10 @@ class CPAAttack:
     def merge(self, other: "CPAAttack") -> "CPAAttack":
         """Fold another attack's accumulated sums in.
 
-        Both attacks must share ``n_samples`` and ``sample_window``.
-        Merging is exact, so shard-local attacks merged in any order
-        equal one attack fed the same traces serially, bit for bit.
+        Both attacks must share ``n_samples``, ``sample_window`` and
+        accumulate engine.  Merging is exact, so shard-local attacks
+        merged in any order equal one attack fed the same traces
+        serially, bit for bit.
         """
         if not isinstance(other, CPAAttack):
             raise AttackError(f"cannot merge {type(other).__name__} into CPAAttack")
@@ -154,8 +342,17 @@ class CPAAttack:
             raise AttackError(
                 "cannot merge CPA attacks with different sample configuration"
             )
-        for mine, theirs in zip(self._byte_corr, other._byte_corr):
-            mine.merge(theirs)
+        if other.accumulate != self.accumulate:
+            raise AttackError(
+                f"cannot merge a {other.accumulate!r}-engine attack into a "
+                f"{self.accumulate!r}-engine attack"
+            )
+        self._corr_cache = None
+        if self._stacked is not None:
+            self._stacked.merge(other._stacked)
+        else:
+            for mine, theirs in zip(self._byte_corr, other._byte_corr):
+                mine.merge(theirs)
         return self
 
     # ------------------------------------------------------------------
@@ -167,7 +364,13 @@ class CPAAttack:
     def cache_token(self) -> dict:
         """Everything that determines this attack's accumulated state
         besides the traces themselves (the content-address companion of
-        the acquisition's ``cache_token``)."""
+        the acquisition's ``cache_token``).
+
+        The accumulate engine is deliberately absent: both engines
+        accumulate bit-identical sums and :meth:`load_state_arrays`
+        reads either layout, so snapshots are interchangeable between
+        them (including pre-batched-engine dumps).
+        """
         return {
             "type": type(self).__name__,
             "n_samples": int(self.n_samples),
@@ -181,11 +384,14 @@ class CPAAttack:
     def state_arrays(self) -> dict:
         """The full accumulator state as named arrays.
 
-        The per-byte sums are exact (see :class:`~repro.analysis.
-        streaming.StreamingPearson`), so restoring a dump reproduces
-        :meth:`correlations` — and every rank derived from it — bit for
-        bit.
+        The sums are exact (see :mod:`repro.analysis.streaming`), so
+        restoring a dump reproduces :meth:`correlations` — and every
+        rank derived from it — bit for bit.  The batched engine dumps
+        the compact stacked layout (one shared copy of the trace sums);
+        the per-byte engine keeps the legacy ``b{j:02d}_*`` layout.
         """
+        if self._stacked is not None:
+            return self._stacked.state_arrays()
         out = {}
         for j, corr in enumerate(self._byte_corr):
             for name, arr in corr.state_arrays().items():
@@ -193,23 +399,109 @@ class CPAAttack:
         return out
 
     def load_state_arrays(self, arrays) -> "CPAAttack":
-        """Overwrite this attack with a :meth:`state_arrays` dump."""
+        """Overwrite this attack with a :meth:`state_arrays` dump.
+
+        Accepts both dump layouts regardless of this attack's engine —
+        the migration shim that keeps attack-state snapshots written by
+        the per-byte engine (every pre-batched block store) replayable
+        by batched attacks, and vice versa.
+        """
+        self._corr_cache = None
+        if "s_xy" in arrays:
+            stacked = self._as_stacked_arrays_noop(arrays)
+        elif "b00_s_xy" in arrays:
+            stacked = self._stack_per_byte_arrays(arrays)
+        else:
+            raise AttackError(
+                "unrecognized CPA state dump: expected stacked arrays "
+                "('s_xy', ...) or per-byte arrays ('b00_s_xy', ...)"
+            )
+        if self._stacked is not None:
+            self._stacked.load_state_arrays(stacked)
+            return self
+        w = self._window_size
+        s_xy = np.asarray(stacked["s_xy"], dtype=np.float64).reshape(
+            self.N_BYTES, self.N_GUESSES, w
+        )
+        s_x = np.asarray(stacked["s_x"], dtype=np.float64).reshape(
+            self.N_BYTES, self.N_GUESSES
+        )
+        s_x2 = np.asarray(stacked["s_x2"], dtype=np.float64).reshape(
+            self.N_BYTES, self.N_GUESSES
+        )
         for j, corr in enumerate(self._byte_corr):
             corr.load_state_arrays(
                 {
-                    name: arrays[f"b{j:02d}_{name}"]
-                    for name in StreamingPearson.STATE_FIELDS
+                    "n": stacked["n"],
+                    "s_x": s_x[j],
+                    "s_x2": s_x2[j],
+                    "s_y": stacked["s_y"],
+                    "s_y2": stacked["s_y2"],
+                    "s_xy": s_xy[j],
                 }
             )
         return self
 
+    @staticmethod
+    def _as_stacked_arrays_noop(arrays) -> dict:
+        return {
+            name: arrays[name]
+            for name in ("n", "s_x", "s_x2", "s_y", "s_y2", "s_xy")
+        }
+
+    def _stack_per_byte_arrays(self, arrays) -> dict:
+        """Convert a legacy per-byte dump into the stacked layout.
+
+        A legacy dump carries 16 copies of the shared quantities
+        (``n``, ``s_y``, ``s_y2``); they are required to agree, which
+        doubles as a consistency check on the dump.
+        """
+        def field(j: int, name: str) -> np.ndarray:
+            return np.asarray(arrays[f"b{j:02d}_{name}"])
+
+        n0 = field(0, "n")
+        s_y = field(0, "s_y")
+        s_y2 = field(0, "s_y2")
+        for j in range(1, self.N_BYTES):
+            if not (
+                np.array_equal(field(j, "n"), n0)
+                and np.array_equal(field(j, "s_y"), s_y)
+                and np.array_equal(field(j, "s_y2"), s_y2)
+            ):
+                raise AttackError(
+                    "inconsistent per-byte CPA state dump: shared trace "
+                    f"sums of byte {j} disagree with byte 0"
+                )
+        return {
+            "n": n0,
+            "s_x": np.stack([field(j, "s_x") for j in range(self.N_BYTES)]),
+            "s_x2": np.stack([field(j, "s_x2") for j in range(self.N_BYTES)]),
+            "s_y": s_y,
+            "s_y2": s_y2,
+            "s_xy": np.stack([field(j, "s_xy") for j in range(self.N_BYTES)]),
+        }
+
     # ------------------------------------------------------------------
     def correlations(self) -> np.ndarray:
         """Pearson correlation per (key byte, guess, sample):
-        ``(16, 256, window)``."""
+        ``(16, 256, window)``.
+
+        Memoized until the next ``add_traces``/``merge``/state load —
+        checkpointed key-rank evaluations over unchanged state reuse
+        the finalized matrix instead of re-deriving it.  The cached
+        array is returned read-only.
+        """
         if self.n_traces < 2:
             raise AttackError("need at least two traces to correlate")
-        return np.stack([corr.finalize() for corr in self._byte_corr])
+        if self._corr_cache is not None:
+            return self._corr_cache
+        if self._stacked is not None:
+            rho = self._stacked.finalize()
+        else:
+            rho = np.stack([corr.finalize() for corr in self._byte_corr])
+            rho.flags.writeable = False
+        self._corr_cache = rho
+        return rho
 
     def peak_correlations(self) -> np.ndarray:
         """Per (byte, guess) |correlation| maximized over samples:
@@ -237,3 +529,4 @@ class CPAAttack:
         for j in range(16):
             ranks[j] = int(np.where(order[j] == true[j])[0][0])
         return ranks
+

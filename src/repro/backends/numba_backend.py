@@ -1,0 +1,217 @@
+"""Optional numba-JIT compute backend.
+
+The sensor stage — voltage -> table cell -> linear interpolation ->
+Gaussian draw -> quantise — still dominates fused per-block time
+(~80%), because numpy executes it as ~15 separate passes over the
+block.  :mod:`repro.kernels._csampler` already collapses it into one
+compiled pass when a C compiler is present; this module provides the
+same single-pass loop as a numba ``@njit`` function for environments
+with numba but no usable ``cc``.
+
+The contract is the one every sampler implementation must honour (see
+:mod:`repro.kernels.fanout`): operation-for-operation the arithmetic of
+``FusedAcquisitionKernel._sample_normal`` applied to ``flat + offset +
+noise`` — two-rounding linear interpolation (never an FMA; numba does
+not contract without ``fastmath``), half-even ``rint`` quantisation,
+the same clamps.  Like the C sampler, the freshly compiled function is
+self-tested against a numpy replica of the exact operation sequence
+before it is ever trusted; any failure (numba missing, compilation
+error, self-test mismatch) resolves to "not available" and callers
+fall back to the C or tiled-numpy path, which is bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Optional
+
+import numpy as np
+
+__all__ = ["NumbaSampler", "numba_sampler", "numba_unavailable_reason"]
+
+
+def _build_jit():
+    """Compile the single-pass sampling loop; raises on any failure."""
+    import numba
+
+    @numba.njit(cache=True, fastmath=False)
+    def sample_block(
+        flat, noise, draw, off, lo, inv_step, last_cell,
+        dmu, mu0, dsg, sg0, sigma_floor, out_hi, out,
+    ):  # pragma: no cover - requires numba
+        vmin = np.inf
+        last = float(last_cell)
+        for i in range(flat.shape[0]):
+            t = (flat[i] + off) + noise[i]
+            if t < vmin:
+                vmin = t
+            p = (t - lo) * inv_step
+            f = np.floor(p)
+            if f > last:
+                f = last
+            frac = p - f
+            if frac > 1.0:
+                frac = 1.0
+            ix = int(f)
+            if ix < 0:
+                ix = 0
+            a = dmu[ix] * frac
+            mu = a + mu0[ix]
+            b = dsg[ix] * frac
+            sg = b + sg0[ix]
+            if sg < sigma_floor:
+                sg = sigma_floor
+            d = draw[i] * sg
+            d += mu
+            d = np.rint(d)
+            if d < 0.0:
+                d = 0.0
+            elif d > out_hi:
+                d = out_hi
+            out[i] = np.int16(d)
+        return vmin
+
+    return sample_block
+
+
+class NumbaSampler:
+    """Sampler-protocol wrapper around the compiled loop (the numba
+    twin of :class:`repro.kernels._csampler.CSampler`)."""
+
+    def __init__(self, fn) -> None:
+        self._fn = fn
+
+    def sample(
+        self,
+        flat: np.ndarray,
+        noise: np.ndarray,
+        draw: np.ndarray,
+        offset: float,
+        interp,
+        sigma_floor: float,
+        out_hi: float,
+        out: np.ndarray,
+    ) -> float:
+        """Fill ``out`` (flat int16) from a flat droop block; return the
+        minimum noise-applied voltage for the caller's range check."""
+        return float(
+            self._fn(
+                flat,
+                noise,
+                draw,
+                float(offset),
+                float(interp.lo),
+                float(interp.inv_step),
+                int(interp.last_cell),
+                np.ascontiguousarray(interp.dmu),
+                np.ascontiguousarray(interp.mu),
+                np.ascontiguousarray(interp.dsigma),
+                np.ascontiguousarray(interp.sigma),
+                float(sigma_floor),
+                float(out_hi),
+                out,
+            )
+        )
+
+
+_RESOLVED = False
+_SAMPLER: Optional[NumbaSampler] = None
+_REASON: Optional[str] = None
+
+
+def _resolve() -> None:
+    global _SAMPLER, _REASON
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        _REASON = "numba is not installed"
+        return
+    from repro.kernels._csampler import _self_test
+
+    try:
+        sampler = NumbaSampler(_build_jit())
+        ok = _self_test(sampler)
+    except Exception as exc:  # pragma: no cover - jit env specific
+        _REASON = f"numba JIT failed: {exc!r}"
+        return
+    if not ok:  # pragma: no cover - would be a numba semantics change
+        _REASON = "numba sampler failed the bit-exactness self-test"
+        return
+    _SAMPLER = sampler
+    _REASON = None
+
+
+def numba_sampler() -> Optional[NumbaSampler]:
+    """The process-wide numba sampler, or ``None`` when unavailable.
+
+    Resolution (import + JIT + self-test) happens once per process.
+    """
+    global _RESOLVED
+    if not _RESOLVED:
+        _resolve()
+        _RESOLVED = True
+    return _SAMPLER
+
+
+def numba_unavailable_reason() -> Optional[str]:
+    """Why :func:`numba_sampler` is ``None`` (``None`` if available)."""
+    numba_sampler()
+    return _REASON
+
+
+def _reset() -> None:
+    """Forget the resolved sampler (test hook)."""
+    global _RESOLVED, _SAMPLER, _REASON
+    _RESOLVED = False
+    _SAMPLER = None
+    _REASON = None
+
+
+def make_numba_kernel_type() -> type:
+    """Build the ``"numba"`` acquisition-kernel class.
+
+    A :class:`~repro.kernels.aes_trace.FusedAcquisitionKernel` whose
+    single-sensor sensor stage runs the JIT single-pass loop (the
+    fan-out stage picks the sampler up through the provider seam in
+    :mod:`repro.kernels.fanout`).  Imported lazily so merely probing
+    backend availability does not pull in the kernel stack.
+    """
+    from repro.core.sensor import check_table_range
+    from repro.kernels.aes_trace import (
+        SIGMA_FLOOR,
+        FusedAcquisitionKernel,
+        _table_interpolant,
+    )
+
+    class NumbaAcquisitionKernel(FusedAcquisitionKernel):
+        """Fused kernel with a numba-JIT sensor inner loop.
+
+        Bit-identical to ``"fused"`` by the sampler contract; falls
+        back to the inherited tiled-numpy stage if the JIT resolves
+        unavailable in a worker.
+        """
+
+        name: ClassVar[str] = "numba"
+
+        def _sample_normal(self, sensor, volts, rng, ws):
+            sampler = numba_sampler()
+            if sampler is None:  # pragma: no cover - requires numba
+                return super()._sample_normal(sensor, volts, rng, ws)
+            flat = volts.ravel()
+            interp = _table_interpolant(sensor)
+            check_table_range(sensor, flat, interp.table[0])
+            full_draw = ws["draw"]
+            rng.standard_normal(out=full_draw)
+            zeros = ws.get("numba_zeros")
+            if zeros is None or zeros.size != flat.size:
+                zeros = ws["numba_zeros"] = np.zeros(flat.size)
+            out = np.empty(flat.size, dtype=np.int16)
+            # offset/noise are already folded into ``volts``; adding
+            # exact zeros keeps the sampler's ``(flat + off) + noise``
+            # association bit-neutral.
+            sampler.sample(
+                flat, zeros, full_draw, 0.0, interp, SIGMA_FLOOR,
+                float(sensor.output_width), out,
+            )
+            return out.reshape(volts.shape)
+
+    return NumbaAcquisitionKernel

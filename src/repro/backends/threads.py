@@ -1,0 +1,164 @@
+"""BLAS / OpenMP threadpool pinning for worker processes.
+
+The engine parallelizes across *processes*; inside a worker every BLAS
+call (the fused droop matmul, the stacked CPA GEMM) should therefore
+run single-threaded, or an N-worker pool on a C-core machine spawns
+N*C BLAS threads that fight each other for cores (classic
+oversubscription — each GEMM gets slower, not faster).
+
+``threadpoolctl`` is used when it is installed.  Otherwise a small
+ctypes fallback walks the shared libraries already loaded into the
+process (``/proc/self/maps`` on Linux) and calls the
+``*_set_num_threads`` entry point of any recognised BLAS/OpenMP
+runtime directly — this covers forked workers, where the libraries are
+inherited already-loaded and environment variables are read too late
+to matter.  The usual environment variables are always exported as
+well so spawn-mode children and late-loaded libraries comply.
+
+Everything here is best-effort by design: pinning failures must never
+take down a campaign, so every entry point swallows per-library errors
+and reports what it actually managed to pin.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import re
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "set_blas_threads",
+    "pin_worker_threads",
+    "thread_env_vars",
+]
+
+#: Environment variables the common numeric runtimes honour.
+_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "BLIS_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
+
+#: Loaded-library filename patterns -> candidate setter symbols.  The
+#: scipy/numpy OpenBLAS wheels prefix their exported symbols, so
+#: several spellings are tried per library.
+_LIB_SETTERS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    (
+        r"openblas",
+        (
+            "openblas_set_num_threads",
+            "openblas_set_num_threads64_",
+            "scipy_openblas64_set_num_threads",
+            "scipy_openblas32_set_num_threads",
+            "goto_set_num_threads",
+        ),
+    ),
+    (r"mkl_rt", ("MKL_Set_Num_Threads",)),
+    (r"blis", ("bli_thread_set_num_threads",)),
+    (r"(libgomp|libomp|libiomp)", ("omp_set_num_threads",)),
+)
+
+
+def thread_env_vars(n: int) -> Dict[str, str]:
+    """The environment assignments that pin common runtimes to ``n``."""
+    return {name: str(int(n)) for name in _ENV_VARS}
+
+
+def _loaded_library_paths() -> List[str]:
+    """Paths of shared libraries mapped into this process (Linux)."""
+    paths: List[str] = []
+    try:
+        with open("/proc/self/maps") as fh:
+            for line in fh:
+                path = line.split(None, 5)[-1].strip() if " " in line else ""
+                if path.startswith("/") and ".so" in os.path.basename(path):
+                    if path not in paths:
+                        paths.append(path)
+    except OSError:
+        pass
+    return paths
+
+
+def _pin_via_threadpoolctl(n: int) -> Optional[Dict[str, int]]:
+    """Pin through threadpoolctl when available; None when it is not."""
+    try:
+        import threadpoolctl
+    except ImportError:
+        return None
+    try:
+        threadpoolctl.threadpool_limits(limits=n)
+        return {
+            f"{info.get('internal_api', 'unknown')}": n
+            for info in threadpoolctl.threadpool_info()
+        }
+    except Exception:
+        return None
+
+
+def _pin_via_ctypes(n: int) -> Dict[str, int]:
+    """Call the setter of every recognised, already-loaded runtime."""
+    pinned: Dict[str, int] = {}
+    for path in _loaded_library_paths():
+        base = os.path.basename(path).lower()
+        for pattern, symbols in _LIB_SETTERS:
+            if not re.search(pattern, base):
+                continue
+            try:
+                lib = ctypes.CDLL(path)
+            except OSError:
+                continue
+            for symbol in symbols:
+                fn = getattr(lib, symbol, None)
+                if fn is None:
+                    continue
+                try:
+                    fn.argtypes = [ctypes.c_int]
+                    fn.restype = None
+                    fn(int(n))
+                    pinned[base] = int(n)
+                except Exception:
+                    continue
+                break
+            break
+    return pinned
+
+
+def set_blas_threads(n: int) -> Dict[str, int]:
+    """Pin every reachable BLAS/OpenMP pool to ``n`` threads.
+
+    Exports the standard environment variables (for children and
+    late-loaded libraries), then limits the pools already loaded into
+    this process — via threadpoolctl when installed, via direct ctypes
+    calls otherwise.  Returns a ``{runtime: threads}`` report of what
+    was actually pinned; an empty report means only the environment
+    was set.  Never raises.
+    """
+    n = max(1, int(n))
+    os.environ.update(thread_env_vars(n))
+    report = _pin_via_threadpoolctl(n)
+    if report is not None:
+        return report
+    try:
+        return _pin_via_ctypes(n)
+    except Exception:
+        return {}
+
+
+def pin_worker_threads(n: Optional[int] = None) -> Dict[str, int]:
+    """Pin this *worker process* to its thread budget.
+
+    Called from the engine's pool initializers.  The budget defaults to
+    the ``REPRO_BLAS_THREADS`` environment variable, or 1 — one BLAS
+    thread per worker, the right setting whenever the process pool is
+    doing the parallelism.
+    """
+    if n is None:
+        try:
+            n = int(os.environ.get("REPRO_BLAS_THREADS", "1"))
+        except ValueError:
+            n = 1
+    return set_blas_threads(n)

@@ -539,10 +539,23 @@ _KERNEL_TYPES: Dict[str, type] = {
 }
 _INSTANCES: Dict[str, AcquisitionKernel] = {}
 
+#: Kernel each built-in compute backend (``REPRO_BACKEND``) implies at
+#: import time.  The ``numba`` backend starts on the fused kernel and
+#: upgrades to its JIT kernel when :func:`repro.backends.
+#: activate_backend` registers it (it cannot be probed this early).
+_ENV_BACKEND_KERNELS = {
+    "numpy": ReferenceAcquisitionKernel.name,
+    "fused": FusedAcquisitionKernel.name,
+    "numba": FusedAcquisitionKernel.name,
+}
+
 #: Process-wide default kernel name; overridable via the
-#: ``REPRO_KERNEL`` environment variable or :func:`set_default_kernel`
-#: (the CLI's ``--kernel`` flag).
-_DEFAULT_KERNEL = os.environ.get("REPRO_KERNEL", FusedAcquisitionKernel.name)
+#: ``REPRO_KERNEL`` environment variable (which wins over the
+#: ``REPRO_BACKEND`` mapping) or :func:`set_default_kernel` (the CLI's
+#: ``--kernel`` / ``--backend`` flags).
+_DEFAULT_KERNEL = os.environ.get("REPRO_KERNEL") or _ENV_BACKEND_KERNELS.get(
+    os.environ.get("REPRO_BACKEND", ""), FusedAcquisitionKernel.name
+)
 
 
 def available_kernels() -> Tuple[str, ...]:

@@ -59,8 +59,25 @@ def make_scratch(tile: int = FANOUT_TILE) -> Dict[str, np.ndarray]:
     }
 
 
+#: Pluggable sampler provider (``None`` -> the default C sampler
+#: resolution).  :func:`repro.backends.activate_backend` points this at
+#: the numba sampler or at "nothing" (pure-numpy reference backend).
+_SAMPLER_PROVIDER = None
+
+
+def set_sampler_provider(provider) -> None:
+    """Install a zero-argument callable returning a sampler (an object
+    with the :meth:`repro.kernels._csampler.CSampler.sample` interface)
+    or ``None`` for the tiled numpy path.  ``provider=None`` restores
+    the default C-sampler resolution."""
+    global _SAMPLER_PROVIDER
+    _SAMPLER_PROVIDER = provider
+
+
 def _active_sampler():
-    """Indirection point so tests can force the numpy path."""
+    """Indirection point so tests and backends can steer the path."""
+    if _SAMPLER_PROVIDER is not None:
+        return _SAMPLER_PROVIDER()
     return _get_csampler()
 
 

@@ -37,6 +37,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.analysis.streaming import iter_chunk_slices, validate_chunk_size
+from repro.backends.threads import pin_worker_threads
 from repro.config import RngLike
 from repro.core.sensor import VoltageSensor
 from repro.errors import ConfigurationError
@@ -610,6 +611,9 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
 
 
 def _init_collect_worker(acq, key_bytes, n_samples, buffers, store=None):
+    # One BLAS/OMP thread per worker (REPRO_BLAS_THREADS overrides): the
+    # pool already claims every core, and nested threadpools thrash.
+    pin_worker_threads()
     segments = {}
     arrays = {}
     for label, (name, shape, dtype) in buffers.items():
@@ -640,6 +644,7 @@ def _collect_shard_task(shard: Shard, seed_seq, block_key=None) -> ShardMetrics:
 def _init_stream_worker(
     acq, key_bytes, n_samples, factory, chunk_size, boundaries, store=None
 ):
+    pin_worker_threads()
     _WORKER.clear()
     _WORKER.update(
         acq=acq,
@@ -662,6 +667,7 @@ def _stream_shard_task(shard: Shard, seed_seq, block_key=None):
 
 
 def _init_characterize_worker(sensor, droop, noise, buffers, store=None):
+    pin_worker_threads()
     segments = {}
     arrays = {}
     for label, (name, shape, dtype) in buffers.items():
@@ -685,6 +691,7 @@ def _characterize_shard_task(shard: Shard, seed_seq, block_key=None) -> ShardMet
 
 
 def _init_collect_many_worker(msa, key_bytes, n_samples, buffers, store=None):
+    pin_worker_threads()
     segments = {}
     arrays = {}
     for label, (name, shape, dtype) in buffers.items():
@@ -715,6 +722,7 @@ def _collect_many_shard_task(shard: Shard, seed_seq, block_keys=None) -> ShardMe
 def _init_stream_many_worker(
     msa, key_bytes, n_samples, factory, chunk_size, boundaries, store=None
 ):
+    pin_worker_threads()
     _WORKER.clear()
     _WORKER.update(
         msa=msa,
@@ -737,6 +745,7 @@ def _stream_many_shard_task(shard: Shard, seed_seq, block_keys=None):
 
 
 def _init_characterize_many_worker(sensors, droops, noises, buffers, store=None):
+    pin_worker_threads()
     segments = {}
     arrays = {}
     for label, (name, shape, dtype) in buffers.items():

@@ -1,0 +1,287 @@
+"""Differential tests for the batched CPA accumulate engine.
+
+The contract under test (see :mod:`repro.attacks.cpa`): the batched
+stacked-GEMM engine and the per-byte reference engine accumulate the
+**same exact sums**, so on integer-valued traces — the acquisition
+regime — correlations, peak correlations, guesses and ranks are
+bit-identical between engines for any chunking, merge order, sample
+window, or dtype-narrowing decision inside the batched tile loop; and
+state snapshots written by either engine restore into either engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.cpa import (
+    CPAAttack,
+    _BATCH_TILE_ROWS,
+    hypothesis_table,
+    hypothesis_table_gather,
+)
+from repro.errors import AttackError, ConfigurationError
+
+S = 23
+WINDOWS = [None, (0, S), (3, 17), (10, 11)]
+
+
+@pytest.fixture(scope="module")
+def batch():
+    rng = np.random.default_rng(42)
+    traces = rng.integers(-2048, 2048, size=(700, S), dtype=np.int16)
+    cts = rng.integers(0, 256, size=(700, 16), dtype=np.uint8)
+    return traces, cts
+
+
+def engines(window=None, **kwargs):
+    return (
+        CPAAttack(S, sample_window=window, accumulate="batched", **kwargs),
+        CPAAttack(S, sample_window=window, accumulate="per-byte", **kwargs),
+    )
+
+
+class TestGatherTable:
+    def test_matches_hypothesis_table(self):
+        gather = hypothesis_table_gather()
+        table = hypothesis_table()
+        assert gather.shape == (65536, 256) and gather.dtype == np.uint8
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            g, t, p = rng.integers(0, 256, 3)
+            assert gather[t * 256 + p, g] == table[g, t, p]
+
+    def test_cached_per_process(self):
+        assert hypothesis_table_gather() is hypothesis_table_gather()
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("window", WINDOWS)
+    def test_all_windows_bit_identical(self, batch, window):
+        traces, cts = batch
+        a, b = engines(window)
+        a.add_traces(traces, cts)
+        b.add_traces(traces, cts)
+        assert np.array_equal(a.correlations(), b.correlations())
+        assert np.array_equal(a.peak_correlations(), b.peak_correlations())
+        assert np.array_equal(a.best_guesses(), b.best_guesses())
+
+    def test_chunking_invariant(self, batch):
+        traces, cts = batch
+        whole, _ = engines()
+        whole.add_traces(traces, cts)
+        for cuts in ([100], [1, 699], [250, 251, 400]):
+            chunked = CPAAttack(S, accumulate="batched")
+            for lo, hi in zip([0] + cuts, cuts + [len(traces)]):
+                chunked.add_traces(traces[lo:hi], cts[lo:hi])
+            assert np.array_equal(chunked.correlations(), whole.correlations())
+
+    def test_merge_order_invariant(self, batch):
+        traces, cts = batch
+        whole, _ = engines()
+        whole.add_traces(traces, cts)
+        parts = []
+        for lo, hi in ((0, 200), (200, 450), (450, 700)):
+            part = CPAAttack(S, accumulate="batched")
+            part.add_traces(traces[lo:hi], cts[lo:hi])
+            parts.append(part)
+        merged = parts[2].merge(parts[0]).merge(parts[1])
+        assert np.array_equal(merged.correlations(), whole.correlations())
+
+    def test_tile_boundary_crossing(self):
+        # A chunk larger than the internal tile exercises the
+        # multi-tile loop; identity must hold across the seam.
+        rng = np.random.default_rng(3)
+        m = _BATCH_TILE_ROWS + 257
+        traces = rng.integers(0, 1024, size=(m, S), dtype=np.int16)
+        cts = rng.integers(0, 256, size=(m, 16), dtype=np.uint8)
+        a, b = engines()
+        a.add_traces(traces, cts)
+        b.add_traces(traces, cts)
+        assert np.array_equal(a.correlations(), b.correlations())
+
+    def test_integral_float_traces_bit_identical(self, batch):
+        traces, cts = batch
+        a, b = engines()
+        # Integer-valued but float-typed: the f32 GEMM guard must see a
+        # non-integer dtype and take the float64 path — still exact.
+        a.add_traces(traces.astype(np.float64), cts)
+        b.add_traces(traces.astype(np.float64), cts)
+        assert np.array_equal(a.correlations(), b.correlations())
+
+    def test_large_readouts_force_f64_and_stay_identical(self):
+        # 8 * rows * max|y| >= 2**24 defeats the float32 exactness
+        # bound; the engine must fall back to the float64 GEMM.
+        rng = np.random.default_rng(9)
+        traces = rng.integers(-(2**22), 2**22, size=(300, S), dtype=np.int64)
+        cts = rng.integers(0, 256, size=(300, 16), dtype=np.uint8)
+        a, b = engines()
+        a.add_traces(traces, cts)
+        b.add_traces(traces, cts)
+        assert np.array_equal(a.correlations(), b.correlations())
+
+    def test_non_integer_floats_agree_to_1e_10(self, batch):
+        traces, cts = batch
+        noisy = traces + 0.375  # exact in float64, not integral
+        a, b = engines()
+        a.add_traces(noisy, cts)
+        b.add_traces(noisy, cts)
+        np.testing.assert_allclose(
+            a.correlations(), b.correlations(), rtol=0, atol=1e-10
+        )
+
+    def test_recovers_planted_key_like_reference(self):
+        # Synthetic leakage: the hypothesis of the true key leaks into
+        # one sample.  Both engines must find the same (correct) key.
+        from repro.victims.aes.core import SHIFT_ROWS_IDX
+        from repro.victims.aes.key_schedule import expand_key
+        from repro.victims.aes.sbox import HW8, INV_SBOX
+
+        rng = np.random.default_rng(5)
+        key10 = expand_key(bytes(range(16)))[10]
+        m = 900
+        cts = rng.integers(0, 256, size=(m, 16), dtype=np.uint8)
+        traces = rng.integers(0, 64, size=(m, S), dtype=np.int16)
+        leak = np.zeros(m, dtype=np.int64)
+        for j in range(16):
+            pred = INV_SBOX[cts[:, j] ^ key10[j]]
+            leak += HW8[pred ^ cts[:, SHIFT_ROWS_IDX[j]]]
+        traces[:, 7] += (4 * leak).astype(np.int16)
+        a, b = engines()
+        a.add_traces(traces, cts)
+        b.add_traces(traces, cts)
+        assert np.array_equal(a.best_guesses(), key10)
+        assert np.array_equal(b.best_guesses(), key10)
+        assert np.array_equal(
+            a.byte_ranks(key10), np.zeros(16, dtype=np.int64)
+        )
+
+
+class TestStateMigration:
+    @pytest.mark.parametrize("window", [None, (3, 17)])
+    def test_batched_dump_into_per_byte(self, batch, window):
+        traces, cts = batch
+        a, b = engines(window)
+        a.add_traces(traces, cts)
+        restored = CPAAttack(
+            S, sample_window=window, accumulate="per-byte"
+        ).load_state_arrays(a.state_arrays())
+        b.add_traces(traces, cts)
+        assert np.array_equal(restored.correlations(), b.correlations())
+
+    @pytest.mark.parametrize("window", [None, (3, 17)])
+    def test_per_byte_dump_into_batched(self, batch, window):
+        traces, cts = batch
+        a, b = engines(window)
+        b.add_traces(traces, cts)
+        restored = CPAAttack(
+            S, sample_window=window, accumulate="batched"
+        ).load_state_arrays(b.state_arrays())
+        a.add_traces(traces, cts)
+        assert np.array_equal(restored.correlations(), a.correlations())
+
+    def test_same_engine_round_trips(self, batch):
+        traces, cts = batch
+        for mode in ("batched", "per-byte"):
+            src = CPAAttack(S, accumulate=mode)
+            src.add_traces(traces, cts)
+            dst = CPAAttack(S, accumulate=mode).load_state_arrays(
+                src.state_arrays()
+            )
+            assert np.array_equal(dst.correlations(), src.correlations())
+            assert dst.n_traces == src.n_traces
+
+    def test_cache_token_engine_agnostic(self):
+        a, b = engines((3, 17))
+        assert a.cache_token() == b.cache_token()
+
+    def test_rejects_unknown_layout(self):
+        with pytest.raises(AttackError, match="unrecognized"):
+            CPAAttack(S).load_state_arrays({"sums": np.zeros(3)})
+
+    def test_rejects_inconsistent_per_byte_dump(self, batch):
+        traces, cts = batch
+        _, b = engines()
+        b.add_traces(traces, cts)
+        dump = dict(b.state_arrays())
+        dump["b07_s_y"] = dump["b07_s_y"] + 1.0
+        with pytest.raises(AttackError, match="byte 7"):
+            CPAAttack(S, accumulate="batched").load_state_arrays(dump)
+
+
+class TestEngineSelection:
+    def test_unknown_accumulate_rejected(self):
+        with pytest.raises(ConfigurationError, match="accumulate"):
+            CPAAttack(S, accumulate="vectorized")
+
+    def test_backend_resolves_default_engine(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert CPAAttack(S).accumulate == "batched"
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        assert CPAAttack(S).accumulate == "per-byte"
+
+    def test_cross_engine_merge_rejected(self, batch):
+        traces, cts = batch
+        a, b = engines()
+        a.add_traces(traces[:100], cts[:100])
+        b.add_traces(traces[100:200], cts[100:200])
+        with pytest.raises(AttackError, match="engine"):
+            a.merge(b)
+
+    def test_pickle_round_trip_both_engines(self, batch):
+        import pickle
+
+        traces, cts = batch
+        for mode in ("batched", "per-byte"):
+            attack = CPAAttack(S, accumulate=mode)
+            attack.add_traces(traces, cts)
+            clone = pickle.loads(pickle.dumps(attack))
+            assert np.array_equal(clone.correlations(), attack.correlations())
+
+
+class TestCorrelationCache:
+    def test_repeat_calls_reuse_the_matrix(self, batch):
+        traces, cts = batch
+        for mode in ("batched", "per-byte"):
+            attack = CPAAttack(S, accumulate=mode)
+            attack.add_traces(traces, cts)
+            rho = attack.correlations()
+            assert attack.correlations() is rho
+            assert not rho.flags.writeable
+
+    def test_update_invalidates(self, batch):
+        traces, cts = batch
+        attack = CPAAttack(S)
+        attack.add_traces(traces[:400], cts[:400])
+        before = attack.correlations()
+        attack.add_traces(traces[400:], cts[400:])
+        after = attack.correlations()
+        assert after is not before
+        assert not np.array_equal(after, before)
+
+    def test_merge_invalidates(self, batch):
+        traces, cts = batch
+        a = CPAAttack(S)
+        a.add_traces(traces[:400], cts[:400])
+        before = a.correlations()
+        other = CPAAttack(S)
+        other.add_traces(traces[400:], cts[400:])
+        assert a.merge(other).correlations() is not before
+
+    def test_state_load_invalidates(self, batch):
+        traces, cts = batch
+        a = CPAAttack(S)
+        a.add_traces(traces[:400], cts[:400])
+        before = a.correlations()
+        full = CPAAttack(S)
+        full.add_traces(traces, cts)
+        a.load_state_arrays(full.state_arrays())
+        assert np.array_equal(a.correlations(), full.correlations())
+        assert not np.array_equal(a.correlations(), before)
+
+    def test_cached_matrix_matches_fresh_compute(self, batch):
+        traces, cts = batch
+        attack = CPAAttack(S)
+        attack.add_traces(traces, cts)
+        cached = attack.correlations()
+        fresh = CPAAttack(S)
+        fresh.add_traces(traces, cts)
+        assert np.array_equal(cached, fresh.correlations())

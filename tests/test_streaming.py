@@ -6,6 +6,8 @@ import numpy as np
 import pytest
 
 from repro.analysis.streaming import (
+    SharedTraceMoments,
+    StackedStreamingPearson,
     StreamingDiffMeans,
     StreamingPearson,
     StreamingWelchT,
@@ -302,3 +304,180 @@ class TestStreamingDiffMeans:
     def test_bits_shape_validated(self):
         with pytest.raises(AttackError, match="bits"):
             StreamingDiffMeans(2, 3).update(np.ones((4, 3)), np.ones((4, 3)))
+
+
+class TestSharedTraceMoments:
+    def test_matches_sum_moments(self, rng):
+        y = rng.integers(-500, 500, size=(120, 6)).astype(float)
+        shared = SharedTraceMoments(6)
+        plain = SumMoments(6)
+        for sl in iter_chunk_slices(120, 17):
+            shared.update(y[sl])
+            plain.update(y[sl])
+        n_s, mean_s, var_s = shared.finalize()
+        n_p, mean_p, var_p = plain.finalize()
+        assert n_s == n_p
+        np.testing.assert_array_equal(mean_s, mean_p)
+        np.testing.assert_array_equal(var_s, var_p)
+
+    def test_fold_sums_equals_update(self, rng):
+        y = rng.integers(-100, 100, size=(50, 4)).astype(float)
+        updated = SharedTraceMoments(4).update(y)
+        folded = SharedTraceMoments(4).fold_sums(
+            50, y.sum(axis=0), np.einsum("ij,ij->j", y, y)
+        )
+        assert folded.n == updated.n
+        np.testing.assert_array_equal(folded._s, updated._s)
+        np.testing.assert_array_equal(folded._s2, updated._s2)
+
+    def test_fold_sums_validates(self):
+        acc = SharedTraceMoments(4)
+        with pytest.raises(AttackError, match="positive"):
+            acc.fold_sums(0, np.zeros(4), np.zeros(4))
+        with pytest.raises(AttackError, match="shape"):
+            acc.fold_sums(3, np.zeros(5), np.zeros(4))
+
+    def test_merge_bit_identical(self, rng):
+        y = rng.integers(0, 1000, size=(90, 3)).astype(float)
+        whole = SharedTraceMoments(3).update(y)
+        merged = (
+            SharedTraceMoments(3).update(y[:40]).merge(
+                SharedTraceMoments(3).update(y[40:])
+            )
+        )
+        np.testing.assert_array_equal(merged._s, whole._s)
+        np.testing.assert_array_equal(merged._s2, whole._s2)
+
+    def test_merge_rejects_mismatched_width(self):
+        with pytest.raises(ReproError):
+            SharedTraceMoments(3).merge(SharedTraceMoments(4))
+
+    def test_state_round_trip(self, rng):
+        y = rng.integers(0, 50, size=(30, 5)).astype(float)
+        src = SharedTraceMoments(5).update(y)
+        dst = SharedTraceMoments(5).load_state_arrays(src.state_arrays())
+        assert dst.n == src.n
+        np.testing.assert_array_equal(dst._s, src._s)
+        with pytest.raises(AttackError, match="samples"):
+            SharedTraceMoments(6).load_state_arrays(src.state_arrays())
+
+    def test_guards(self):
+        with pytest.raises(AttackError):
+            SharedTraceMoments(0)
+        with pytest.raises(AttackError, match="no data"):
+            SharedTraceMoments(2).mean
+        with pytest.raises(AttackError, match="ddof"):
+            SharedTraceMoments(2).update(np.ones((1, 2))).variance()
+
+
+class TestStackedStreamingPearson:
+    def per_group_reference(self, x, y, groups, nvars):
+        out = []
+        for g in range(groups):
+            acc = StreamingPearson(nvars, y.shape[1])
+            acc.update(x[:, g, :], y)
+            out.append(acc.finalize())
+        return np.stack(out)
+
+    def test_matches_per_group_accumulators(self, rng):
+        groups, nvars, samples = 4, 7, 5
+        x = rng.integers(0, 9, size=(160, groups, nvars)).astype(float)
+        y = rng.integers(-300, 300, size=(160, samples)).astype(float)
+        stacked = StackedStreamingPearson(groups, nvars, samples)
+        for sl in iter_chunk_slices(160, 33):
+            stacked.update(x[sl], y[sl])
+        np.testing.assert_array_equal(
+            stacked.finalize(), self.per_group_reference(x, y, groups, nvars)
+        )
+
+    def test_flat_and_3d_updates_agree(self, rng):
+        x = rng.integers(0, 9, size=(40, 3, 4)).astype(float)
+        y = rng.integers(0, 100, size=(40, 2)).astype(float)
+        a = StackedStreamingPearson(3, 4, 2).update(x, y)
+        b = StackedStreamingPearson(3, 4, 2).update(x.reshape(40, 12), y)
+        np.testing.assert_array_equal(a.finalize(), b.finalize())
+
+    def test_fold_sums_equals_update(self, rng):
+        groups, nvars, samples = 2, 5, 3
+        x = rng.integers(0, 9, size=(60, groups, nvars)).astype(float)
+        y = rng.integers(0, 200, size=(60, samples)).astype(float)
+        updated = StackedStreamingPearson(groups, nvars, samples).update(x, y)
+        flat = x.reshape(60, -1)
+        folded = StackedStreamingPearson(groups, nvars, samples).fold_sums(
+            60,
+            flat.sum(axis=0),
+            (flat**2).sum(axis=0),
+            flat.T @ y,
+            y.sum(axis=0),
+            np.einsum("ij,ij->j", y, y),
+        )
+        np.testing.assert_array_equal(folded.finalize(), updated.finalize())
+
+    def test_merge_bit_identical(self, rng):
+        x = rng.integers(0, 9, size=(100, 2, 6)).astype(float)
+        y = rng.integers(0, 500, size=(100, 4)).astype(float)
+        whole = StackedStreamingPearson(2, 6, 4).update(x, y)
+        merged = (
+            StackedStreamingPearson(2, 6, 4).update(x[:30], y[:30]).merge(
+                StackedStreamingPearson(2, 6, 4).update(x[30:], y[30:])
+            )
+        )
+        np.testing.assert_array_equal(merged.finalize(), whole.finalize())
+
+    def test_state_round_trip(self, rng):
+        x = rng.integers(0, 9, size=(50, 3, 4)).astype(float)
+        y = rng.integers(0, 100, size=(50, 2)).astype(float)
+        src = StackedStreamingPearson(3, 4, 2).update(x, y)
+        dst = StackedStreamingPearson(3, 4, 2).load_state_arrays(
+            src.state_arrays()
+        )
+        np.testing.assert_array_equal(dst.finalize(), src.finalize())
+        assert set(src.state_arrays()) == set(
+            StackedStreamingPearson.STATE_FIELDS
+        )
+
+    def test_finalize_memoized_and_read_only(self, rng):
+        x = rng.integers(0, 9, size=(20, 2, 3)).astype(float)
+        y = rng.integers(0, 50, size=(20, 2)).astype(float)
+        acc = StackedStreamingPearson(2, 3, 2).update(x, y)
+        rho = acc.finalize()
+        assert acc.finalize() is rho
+        assert not rho.flags.writeable
+        acc.update(x, y)
+        assert acc.finalize() is not rho
+
+    def test_guards(self):
+        with pytest.raises(AttackError):
+            StackedStreamingPearson(0, 1, 1)
+        with pytest.raises(AttackError, match="two rows"):
+            StackedStreamingPearson(1, 2, 2).finalize()
+        acc = StackedStreamingPearson(1, 2, 2)
+        with pytest.raises(AttackError, match="rows"):
+            acc.update(np.ones((3, 2)), np.ones((4, 2)))
+        with pytest.raises(ReproError):
+            acc.merge(StackedStreamingPearson(2, 2, 2))
+
+
+class TestStreamingPearsonMemoization:
+    def test_finalize_memoized_and_invalidated(self, rng):
+        x = rng.integers(0, 9, size=(30, 4)).astype(float)
+        y = rng.integers(0, 50, size=(30, 3)).astype(float)
+        acc = StreamingPearson(4, 3).update(x, y)
+        rho = acc.finalize()
+        assert acc.finalize() is rho
+        assert not rho.flags.writeable
+        acc.update(x, y)
+        assert acc.finalize() is not rho
+
+    def test_merge_and_load_invalidate(self, rng):
+        x = rng.integers(0, 9, size=(30, 4)).astype(float)
+        y = rng.integers(0, 50, size=(30, 3)).astype(float)
+        acc = StreamingPearson(4, 3).update(x, y)
+        rho = acc.finalize()
+        other = StreamingPearson(4, 3).update(x, y)
+        acc.merge(other)
+        assert acc.finalize() is not rho
+        rho2 = acc.finalize()
+        acc.load_state_arrays(other.state_arrays())
+        assert acc.finalize() is not rho2
+        np.testing.assert_array_equal(acc.finalize(), other.finalize())

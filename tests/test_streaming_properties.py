@@ -233,3 +233,105 @@ class TestWelfordStability:
         acc = WelfordMoments(a.shape[1]).update(a)
         acc.merge(WelfordMoments(a.shape[1]).update(b))
         assert np.all(acc.variance() >= 0.0)
+
+
+@st.composite
+def stacked_int_xy(draw, max_rows=48):
+    """An integer grouped-hypothesis/trace pair (the stacked CPA
+    regime: G groups of 0..8 hypotheses against one trace stream)."""
+    rows = draw(st.integers(2, max_rows))
+    groups = draw(st.integers(1, 3))
+    nvars = draw(st.integers(1, 4))
+    w = draw(st.integers(1, 5))
+    x = draw(
+        hnp.arrays(np.int64, (rows, groups, nvars), elements=st.integers(0, 8))
+    )
+    y = draw(
+        hnp.arrays(np.int16, (rows, w), elements=st.integers(-2048, 2047))
+    )
+    return x, y
+
+
+class TestStackedAccumulators:
+    @given(st.data())
+    @settings(max_examples=60)
+    def test_stacked_matches_per_group_bit_for_bit(self, data):
+        from repro.analysis.streaming import (
+            SharedTraceMoments,
+            StackedStreamingPearson,
+        )
+
+        x, y = data.draw(stacked_int_xy())
+        rows, groups, nvars = x.shape
+        stacked = StackedStreamingPearson(groups, nvars, y.shape[1])
+        cuts = data.draw(split_points(rows))
+        for cx, cy in zip(chunks_of(x, cuts), chunks_of(y, cuts)):
+            stacked.update(cx, cy)
+        rho = stacked.finalize()
+        for g in range(groups):
+            ref = StreamingPearson(nvars, y.shape[1]).update(x[:, g, :], y)
+            np.testing.assert_array_equal(rho[g], ref.finalize())
+
+    @given(st.data())
+    @settings(max_examples=60)
+    def test_stacked_exact_across_merge_orders(self, data):
+        from repro.analysis.streaming import StackedStreamingPearson
+
+        x, y = data.draw(stacked_int_xy())
+        rows, groups, nvars = x.shape
+        reference = (
+            StackedStreamingPearson(groups, nvars, y.shape[1])
+            .update(x, y)
+            .finalize()
+        )
+        cuts = data.draw(split_points(rows))
+        parts = [
+            StackedStreamingPearson(groups, nvars, y.shape[1]).update(cx, cy)
+            for cx, cy in zip(chunks_of(x, cuts), chunks_of(y, cuts))
+        ]
+        order = data.draw(st.permutations(range(len(parts))))
+        acc = StackedStreamingPearson(groups, nvars, y.shape[1])
+        for i in order:
+            acc.merge(parts[i])
+        np.testing.assert_array_equal(acc.finalize(), reference)
+
+    @given(st.data())
+    @settings(max_examples=60)
+    def test_shared_moments_exact_across_merge_orders(self, data):
+        from repro.analysis.streaming import SharedTraceMoments
+
+        _, y = data.draw(stacked_int_xy())
+        reference = SharedTraceMoments(y.shape[1]).update(y)
+        cuts = data.draw(split_points(y.shape[0]))
+        parts = [
+            SharedTraceMoments(y.shape[1]).update(c) for c in chunks_of(y, cuts)
+        ]
+        order = data.draw(st.permutations(range(len(parts))))
+        acc = SharedTraceMoments(y.shape[1])
+        for i in order:
+            acc.merge(parts[i])
+        assert acc.n == reference.n
+        np.testing.assert_array_equal(acc._s, reference._s)
+        np.testing.assert_array_equal(acc._s2, reference._s2)
+
+    @given(st.data())
+    @settings(max_examples=40)
+    def test_fold_sums_equals_update_for_integers(self, data):
+        from repro.analysis.streaming import StackedStreamingPearson
+
+        x, y = data.draw(stacked_int_xy())
+        rows, groups, nvars = x.shape
+        updated = StackedStreamingPearson(groups, nvars, y.shape[1]).update(
+            x, y
+        )
+        flat = x.reshape(rows, -1).astype(np.float64)
+        y64 = y.astype(np.float64)
+        folded = StackedStreamingPearson(groups, nvars, y.shape[1]).fold_sums(
+            rows,
+            flat.sum(axis=0),
+            (flat**2).sum(axis=0),
+            flat.T @ y64,
+            y64.sum(axis=0),
+            np.einsum("ij,ij->j", y64, y64),
+        )
+        np.testing.assert_array_equal(folded.finalize(), updated.finalize())
