@@ -1,0 +1,216 @@
+"""Validate the tiered remote cache against a real ``cache serve``.
+
+End-to-end fleet smoke: starts an actual ``repro cache serve`` HTTP
+server in a subprocess, then runs the same experiment on two simulated
+hosts sharing only that server:
+
+* **host A** (cold, empty local tier): acquires everything live and
+  write-behind publishes every block to the server,
+* **host B** (fresh local tier, same remote): must recompute **zero**
+  blocks — every shard is served over the wire,
+
+and asserts the two results are bit-identical, both in memory and
+through the telemetry run logs' result digests.  Exits non-zero on any
+violation.  Used by CI's remote-cache job::
+
+    PYTHONPATH=src python scripts/check_remote_cache.py
+    PYTHONPATH=src python scripts/check_remote_cache.py \
+        --experiment fig5 --workers 2
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--experiment",
+        default="fig5",
+        help="registered experiment to run on both hosts (default: fig5)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "paper"),
+        default="quick",
+        help="workload scale (default: quick)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="acquisition worker processes per host (default: 2)",
+    )
+    parser.add_argument(
+        "--schedule",
+        choices=("stealing", "static"),
+        default="stealing",
+        help="shard schedule for both hosts (default: stealing)",
+    )
+    parser.add_argument(
+        "--startup-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for the cache server to come up",
+    )
+    return parser
+
+
+def start_server(cache_dir: str, timeout: float) -> "tuple[subprocess.Popen, str]":
+    """Launch ``repro cache serve`` on an ephemeral port; return (proc, url)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "cache",
+            "serve",
+            "--cache-dir",
+            cache_dir,
+            "--port",
+            "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    deadline = time.monotonic() + timeout
+    line = ""
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            if proc.poll() is not None:
+                raise RuntimeError(
+                    f"cache server exited early ({proc.returncode})"
+                )
+            time.sleep(0.05)
+            continue
+        match = re.search(r"at (http://\S+)", line)
+        if match:
+            return proc, match.group(1)
+    proc.terminate()
+    raise RuntimeError(f"cache server never announced a URL (last: {line!r})")
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    from repro.experiments import registry
+    from repro.telemetry import read_run
+    from repro.traces.store_backends import HTTPBackend
+
+    with tempfile.TemporaryDirectory(prefix="repro-remote-") as tmp:
+        server_root = os.path.join(tmp, "served")
+        run_root = os.path.join(tmp, "runs")
+        proc, url = start_server(server_root, args.startup_timeout)
+        print(f"cache server up at {url}")
+        try:
+            return check(args, url, tmp, run_root, read_run, registry, HTTPBackend)
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+
+def check(args, url, tmp, run_root, read_run, registry, HTTPBackend) -> int:
+    def run_host(label):
+        config = registry.ExperimentConfig(
+            scale=args.scale,
+            seed=args.seed,
+            workers=args.workers,
+            schedule=args.schedule,
+            cache_dir=os.path.join(tmp, f"local-{label}"),
+            remote_cache=url,
+            run_dir=os.path.join(run_root, label),
+        )
+        t0 = time.perf_counter()
+        result = registry.run(args.experiment, config)
+        return result, time.perf_counter() - t0
+
+    cold, cold_seconds = run_host("a")
+    warm, warm_seconds = run_host("b")
+
+    failures = []
+    for label, result in (("host A (cold)", cold), ("host B (warm)", warm)):
+        cache = result.metadata["cache"]
+        print(
+            f"{label}: {result.seconds:.2f}s hits={cache['hits']} "
+            f"misses={cache['misses']} remote_hits={cache['remote_hits']} "
+            f"remote_puts={cache['remote_puts']} "
+            f"prefetched={cache['prefetch_fetched']}"
+        )
+
+    cold_cache = cold.metadata["cache"]
+    warm_cache = warm.metadata["cache"]
+    if cold_cache["misses"] == 0:
+        failures.append("host A acquired nothing (stale state?)")
+    if cold_cache["remote_puts"] < cold_cache["misses"]:
+        failures.append(
+            f"host A published {cold_cache['remote_puts']} of "
+            f"{cold_cache['misses']} acquired blocks"
+        )
+    if warm_cache["misses"] != 0:
+        failures.append(
+            f"host B recomputed {warm_cache['misses']} blocks; the "
+            "remote tier should have served every shard"
+        )
+    wire = (
+        warm_cache["remote_hits"]
+        + warm_cache["prefetch_fetched"]
+        + warm_cache["remote_bytes_read"]
+    )
+    if wire == 0:
+        failures.append("host B shows no remote-tier traffic at all")
+    if warm_cache["remote_errors"] or cold_cache["remote_errors"]:
+        failures.append(
+            f"remote tier degraded: {cold_cache['remote_errors']} + "
+            f"{warm_cache['remote_errors']} errors"
+        )
+
+    if cold.metrics != warm.metrics:
+        failures.append(
+            f"metrics differ across hosts: A={cold.metrics} B={warm.metrics}"
+        )
+    else:
+        print(f"metrics identical across hosts: {warm.metrics}")
+
+    digests = {
+        label: read_run(os.path.join(run_root, label))
+        .one("metrics")["result_digest"]
+        for label in ("a", "b")
+    }
+    if digests["a"] != digests["b"]:
+        failures.append(f"run-log result digests differ: {digests}")
+    else:
+        print(f"run-log result digest: {digests['b'][:16]}…")
+
+    stats = HTTPBackend(url).stats()
+    served = stats["n_blocks"]
+    if served < cold_cache["misses"]:
+        failures.append(
+            f"server holds {served} blocks, host A acquired "
+            f"{cold_cache['misses']}"
+        )
+    else:
+        print(f"server holds {served} blocks after the campaign")
+
+    print(
+        f"wall clock: host A {cold_seconds:.2f}s, host B {warm_seconds:.2f}s"
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -137,6 +137,16 @@ def build_parser() -> argparse.ArgumentParser:
             "chrome://tracing"
         ),
     )
+    parser.add_argument(
+        "--schedule",
+        choices=("stealing", "static"),
+        default="stealing",
+        help=(
+            "shard dispatch: 'stealing' (shared queue, cache-aware "
+            "order, remote prefetch overlap) or 'static' (contiguous "
+            "per-worker pre-partition); bit-identical results either way"
+        ),
+    )
     _add_cache_arguments(parser)
     return parser
 
@@ -156,20 +166,35 @@ def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="LRU size cap for the block cache (default: unlimited)",
     )
+    parser.add_argument(
+        "--remote-cache",
+        default=None,
+        help=(
+            "URL of a 'repro cache serve' artifact server (default: "
+            "$REPRO_REMOTE_CACHE, else no remote tier); local misses "
+            "read through it, acquired blocks publish back write-"
+            "behind; digest-verified, bit-identical results either way"
+        ),
+    )
 
 
 def build_cache_parser() -> argparse.ArgumentParser:
     """Parser of the ``cache`` maintenance subcommand."""
     parser = argparse.ArgumentParser(
         prog="repro cache",
-        description="Inspect and maintain a trace block cache directory.",
+        description=(
+            "Inspect and maintain a trace block cache directory, or "
+            "serve one to a fleet over HTTP."
+        ),
     )
     parser.add_argument(
         "action",
-        choices=("stats", "verify", "clear"),
+        choices=("stats", "verify", "clear", "serve"),
         help=(
-            "stats: block count and size; verify: re-check every "
-            "block's digest; clear: delete all blocks"
+            "stats: block count and size (plus the remote tier's when "
+            "--remote-cache is set); verify: re-check every block's "
+            "digest; clear: delete all blocks; serve: run the "
+            "content-addressed artifact server on --cache-dir"
         ),
     )
     parser.add_argument(
@@ -177,12 +202,28 @@ def build_cache_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with 'verify': delete blocks that fail the check",
     )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="with 'serve': bind address (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=9931,
+        help="with 'serve': TCP port, 0 picks one (default: 9931)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="with 'serve': log every request to stderr",
+    )
     _add_cache_arguments(parser)
     return parser
 
 
 def _cache_main(argv) -> int:
-    """The ``repro cache stats|verify|clear`` maintenance entry."""
+    """The ``repro cache stats|verify|clear|serve`` maintenance entry."""
     args = build_cache_parser().parse_args(argv)
     cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
     if not cache_dir:
@@ -191,12 +232,44 @@ def _cache_main(argv) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.action == "serve":
+        from repro.traces.store_backends import CacheServer
+
+        with CacheServer(
+            cache_dir, host=args.host, port=args.port, verbose=args.verbose
+        ) as server:
+            print(
+                f"serving {cache_dir} at {server.url} "
+                f"({server.store.stats().n_blocks} blocks); Ctrl-C to stop",
+                flush=True,
+            )
+            try:
+                while True:
+                    time.sleep(3600)
+            except KeyboardInterrupt:
+                print("stopping", file=sys.stderr)
+        return 0
     from repro.traces.blockstore import BlockStore
 
     store = BlockStore(cache_dir, max_bytes=args.cache_max_bytes)
     if args.action == "stats":
         stats = store.stats()
         print(f"{store.root}: {stats.summary()}")
+        remote = args.remote_cache or os.environ.get("REPRO_REMOTE_CACHE")
+        if remote:
+            from repro.traces.store_backends import HTTPBackend
+
+            backend = HTTPBackend(remote)
+            try:
+                remote_stats = backend.stats()
+            except Exception as exc:
+                print(f"{remote}: unreachable ({exc})", file=sys.stderr)
+                return 1
+            print(
+                f"{remote}: {remote_stats.get('n_blocks', 0)} blocks, "
+                f"{remote_stats.get('total_bytes', 0) / 1e6:.1f}MB "
+                f"(counters: {remote_stats.get('counters', {})})"
+            )
         return 0
     if args.action == "verify":
         report = store.verify(delete_bad=args.delete_bad)
@@ -343,6 +416,8 @@ def _service_main(argv) -> int:
                     workers=args.service_workers,
                     cache_dir=args.cache_dir,
                     cache_max_bytes=args.cache_max_bytes,
+                    remote_cache=args.remote_cache
+                    or os.environ.get("REPRO_REMOTE_CACHE") or None,
                     run_root=args.run_root,
                     max_active=args.max_active,
                 )
@@ -534,6 +609,8 @@ def _run_one(name: str, args, run_dir=None, trace_out=None) -> None:
         progress=_progress_printer(name) if args.progress else None,
         cache_dir=args.cache_dir,
         cache_max_bytes=args.cache_max_bytes,
+        remote_cache=args.remote_cache,
+        schedule=getattr(args, "schedule", "stealing"),
         run_dir=run_dir,
         trace_out=trace_out,
     )
@@ -561,6 +638,25 @@ def _run_one(name: str, args, run_dir=None, trace_out=None) -> None:
                 f"sub_misses={cache.get('sub_misses', 0)}"
             )
         print(line)
+        # Tiered-store runs additionally report per-tier traffic:
+        # read-through hits, wire bytes both ways, write-behind
+        # publishes and background prefetch overlap.
+        if any(
+            cache.get(k)
+            for k in (
+                "remote_hits", "remote_misses", "remote_puts",
+                "prefetch_fetched", "remote_errors",
+            )
+        ):
+            print(
+                f"cache remote: hits={cache.get('remote_hits', 0)} "
+                f"misses={cache.get('remote_misses', 0)} "
+                f"wire_read={cache.get('remote_bytes_read', 0) / 1e6:.1f}MB "
+                f"wire_written={cache.get('remote_bytes_written', 0) / 1e6:.1f}MB "
+                f"puts={cache.get('remote_puts', 0)} "
+                f"prefetched={cache.get('prefetch_fetched', 0)} "
+                f"errors={cache.get('remote_errors', 0)}"
+            )
     if result.metadata.get("run_dir"):
         print(f"run record: {result.metadata['run_dir']}")
     if result.metadata.get("trace_out"):

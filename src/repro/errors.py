@@ -59,6 +59,17 @@ class CacheError(ReproError):
     directory, invalid size cap, unwritable store)."""
 
 
+class RemoteCacheError(CacheError):
+    """A remote cache tier could not be reached or refused a request
+    (connection failure, protocol error, rejected publish).
+
+    The tiered store treats transient remote failures as misses — a
+    dead artifact server degrades a fleet to local-only speed, it never
+    breaks a campaign — but raises this from operations whose whole
+    point is the remote side (an explicit publish, ``repro cache stats``
+    against a server that is not there)."""
+
+
 class CacheIntegrityWarning(UserWarning):
     """A cached trace block failed validation (truncated file, header
     corruption, digest mismatch).

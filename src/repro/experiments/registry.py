@@ -39,7 +39,7 @@ import numpy as np
 
 from repro.analysis.streaming import validate_chunk_size
 from repro.errors import ConfigurationError
-from repro.runtime import Engine, ProgressFn
+from repro.runtime import Engine, ProgressFn, validate_schedule
 
 #: Recognized workload scales.  ``"paper"`` matches the paper-scale
 #: defaults the modules have always used; ``"quick"`` is the scaled-down
@@ -81,6 +81,19 @@ class ExperimentConfig:
         setting never changes results — only wall clock.
     cache_max_bytes:
         Optional LRU size cap for the block cache.
+    remote_cache:
+        URL of a ``repro cache serve`` artifact server (``http://
+        host:port``).  ``None`` reads ``REPRO_REMOTE_CACHE``; when set,
+        the engine's store becomes a :class:`~repro.traces.
+        store_backends.tiered.TieredStore` — local misses read through
+        the server and locally-acquired blocks are published back
+        write-behind.  Like ``cache_dir`` this never changes results
+        (remote blocks are digest-verified on ingest), only wall clock.
+    schedule:
+        Engine shard dispatch: ``"stealing"`` (default — shared queue,
+        cache-aware order, remote prefetch overlap) or ``"static"``
+        (contiguous per-worker pre-partition, the measurable baseline).
+        Bit-identical results either way.
     options:
         Per-experiment parameter overrides, merged over the
         scale-derived defaults (e.g. ``{"n_traces": 10_000}``).
@@ -104,6 +117,8 @@ class ExperimentConfig:
     progress: Optional[ProgressFn] = None
     cache_dir: Optional[str] = None
     cache_max_bytes: Optional[int] = None
+    remote_cache: Optional[str] = None
+    schedule: str = "stealing"
     options: Dict[str, Any] = field(default_factory=dict)
     run_dir: Optional[str] = None
     trace_out: Optional[str] = None
@@ -114,23 +129,29 @@ class ExperimentConfig:
                 f"unknown scale {self.scale!r}; expected one of {SCALES}"
             )
         validate_chunk_size(self.chunk_size, allow_none=True)
+        validate_schedule(self.schedule)
         if self.cache_dir is None:
             self.cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+        if self.remote_cache is None:
+            self.remote_cache = os.environ.get("REPRO_REMOTE_CACHE") or None
 
     def make_engine(self) -> Engine:
         """An engine matching this configuration."""
-        from repro.traces.blockstore import BlockStore
+        from repro.traces.blockstore import open_store
 
-        cache = (
-            BlockStore(self.cache_dir, max_bytes=self.cache_max_bytes)
-            if self.cache_dir
-            else None
-        )
+        cache = None
+        if self.cache_dir or self.remote_cache:
+            cache = open_store(
+                self.cache_dir,
+                max_bytes=self.cache_max_bytes,
+                remote=self.remote_cache,
+            )
         return Engine(
             workers=self.workers,
             shard_size=self.shard_size,
             progress=self.progress,
             cache=cache,
+            schedule=self.schedule,
         )
 
     def spawn_seeds(self, n: int) -> List[np.random.SeedSequence]:
@@ -269,6 +290,7 @@ def run(
         "seed": config.seed,
         "workers": engine.workers,
         "chunk_size": config.chunk_size,
+        "schedule": engine.schedule,
         "options": dict(config.options),
     }
     cache = None
@@ -292,6 +314,22 @@ def run(
     if config.run_dir or config.trace_out:
         _persist_run(name, config, engine, run_span, result, cache)
     return result
+
+
+def _cache_provenance(engine: Engine) -> Optional[Dict[str, Any]]:
+    """Where this run's blocks lived: store host/backend/schema (from
+    :meth:`BlockStore.provenance`), plus the local-tier root, the
+    remote tier when one is configured, and the shard schedule."""
+    store = engine.cache
+    if store is None:
+        return None
+    prov: Dict[str, Any] = dict(store.provenance())
+    prov["root"] = str(store.root)
+    prov["schedule"] = engine.schedule
+    remote = getattr(store, "remote", None)
+    if remote is not None:
+        prov["remote"] = remote.describe()
+    return prov
 
 
 def _persist_run(
@@ -322,6 +360,7 @@ def _persist_run(
             shard_size=config.shard_size,
             chunk_size=config.chunk_size,
             options=config.options,
+            cache_provenance=_cache_provenance(engine),
         )
         write_run_log(
             config.run_dir,

@@ -13,6 +13,12 @@ serial reference path (no pool, no shared memory).
 
 from repro.runtime.engine import Engine, ProgressEvent, ProgressFn
 from repro.runtime.metrics import EngineMetrics, ShardMetrics
+from repro.runtime.scheduler import (
+    SCHEDULES,
+    RemotePrefetcher,
+    ShardTask,
+    validate_schedule,
+)
 from repro.runtime.sharding import (
     Shard,
     plan_shards,
@@ -25,9 +31,13 @@ __all__ = [
     "EngineMetrics",
     "ProgressEvent",
     "ProgressFn",
+    "RemotePrefetcher",
+    "SCHEDULES",
     "Shard",
     "ShardMetrics",
+    "ShardTask",
     "plan_shards",
     "root_sequence",
     "spawn_shard_sequences",
+    "validate_schedule",
 ]

@@ -29,7 +29,6 @@ A progress hook fires in the parent as shards complete::
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -45,6 +44,14 @@ from repro.kernels import StageProfile
 from repro.pdn.coupling import CouplingModel
 from repro.pdn.noise import NoiseModel
 from repro.runtime.metrics import EngineMetrics, ShardMetrics
+from repro.runtime.scheduler import (
+    RemotePrefetcher,
+    ShardTask,
+    classify_tasks,
+    dispatch,
+    flatten_keys,
+    validate_schedule,
+)
 from repro.telemetry.spans import SpanRecord, Telemetry
 from repro.runtime.sharding import (
     SeedLike,
@@ -200,6 +207,40 @@ def _shard_metrics(
     )
 
 
+def _remote_snapshot(store: Optional[BlockStore]):
+    """Remote-tier counters before a shard body runs (or ``None``)."""
+    if store is None:
+        return None
+    c = store.counters
+    return (c.remote_hits, c.remote_misses, c.remote_bytes_read, c.expired)
+
+
+def _attach_remote_delta(
+    metrics: ShardMetrics, store: Optional[BlockStore], snap
+) -> ShardMetrics:
+    """Stamp a shard span with the remote-tier traffic its body caused.
+
+    Worker-process store counters never travel back to the parent as
+    objects; the per-shard delta rides the span instead (only nonzero
+    counters are attached, so local-only runs keep their exact span
+    shapes).  :class:`~repro.runtime.metrics.EngineMetrics` sums these
+    into the per-run remote totals.
+    """
+    if store is None or snap is None or metrics.span is None:
+        return metrics
+    c = store.counters
+    deltas = {
+        "cache_remote_hits": c.remote_hits - snap[0],
+        "cache_remote_misses": c.remote_misses - snap[1],
+        "cache_remote_bytes_read": c.remote_bytes_read - snap[2],
+        "cache_expired": c.expired - snap[3],
+    }
+    for name, value in deltas.items():
+        if value:
+            metrics.span.add_counter(name, value)
+    return metrics
+
+
 def _checkpoint_event(
     n_traces: int, consumer: object, sensor: Optional[int] = None
 ) -> SpanRecord:
@@ -235,6 +276,7 @@ def _run_collect_shard(
 ) -> ShardMetrics:
     start = time.time()
     t0 = time.perf_counter()
+    snap = _remote_snapshot(store)
     profile = StageProfile()
     readouts, shard_pts, shard_cts, cache, cache_nbytes = _acquire_or_replay(
         acq, aes, n_samples, shard, seed_seq, profile, store, key
@@ -242,9 +284,10 @@ def _run_collect_shard(
     traces[shard.slice] = readouts
     pts[shard.slice] = shard_pts
     cts[shard.slice] = shard_cts
-    return _shard_metrics(
+    metrics = _shard_metrics(
         shard, profile, start, time.perf_counter() - t0, cache, cache_nbytes
     )
+    return _attach_remote_delta(metrics, store, snap)
 
 
 def _run_stream_shard(
@@ -277,6 +320,7 @@ def _run_stream_shard(
     """
     start = time.time()
     t0 = time.perf_counter()
+    snap = _remote_snapshot(store)
     profile = StageProfile()
     readouts, _shard_pts, shard_cts, cache, cache_nbytes = _acquire_or_replay(
         acq, aes, n_samples, shard, seed_seq, profile, store, key
@@ -296,7 +340,7 @@ def _run_stream_shard(
     metrics = _shard_metrics(
         shard, profile, start, time.perf_counter() - t0, cache, cache_nbytes
     )
-    return metrics, segments
+    return _attach_remote_delta(metrics, store, snap), segments
 
 
 def _run_characterize_shard(
@@ -311,6 +355,7 @@ def _run_characterize_shard(
 ) -> ShardMetrics:
     start = time.time()
     t0 = time.perf_counter()
+    snap = _remote_snapshot(store)
     profile = StageProfile()
     cache, cache_nbytes = "", 0
     block = None
@@ -335,9 +380,10 @@ def _run_characterize_shard(
                     meta={"lineage": seed_lineage(seed_seq)},
                 )
             cache, cache_nbytes = "miss", store.counters.bytes_written - before
-    return _shard_metrics(
+    metrics = _shard_metrics(
         shard, profile, start, time.perf_counter() - t0, cache, cache_nbytes
     )
+    return _attach_remote_delta(metrics, store, snap)
 
 
 # ----------------------------------------------------------------------
@@ -443,6 +489,7 @@ def _run_collect_many_shard(
     is the ``(n_sensors, n_traces, n_samples)`` result buffer."""
     start = time.time()
     t0 = time.perf_counter()
+    snap = _remote_snapshot(store)
     profile = StageProfile()
     readouts, shard_pts, shard_cts, cache, stats = _acquire_or_replay_many(
         msa, aes, n_samples, shard, seed_seq, profile, store, keys
@@ -452,9 +499,10 @@ def _run_collect_many_shard(
     pts[shard.slice] = shard_pts
     cts[shard.slice] = shard_cts
     nbytes = stats["bytes_read"] + stats["bytes_written"]
-    return _shard_metrics(
+    metrics = _shard_metrics(
         shard, profile, start, time.perf_counter() - t0, cache, nbytes, **stats
     )
+    return _attach_remote_delta(metrics, store, snap)
 
 
 def _run_stream_many_shard(
@@ -479,6 +527,7 @@ def _run_stream_many_shard(
     """
     start = time.time()
     t0 = time.perf_counter()
+    snap = _remote_snapshot(store)
     profile = StageProfile()
     readouts_list, _shard_pts, shard_cts, cache, stats = _acquire_or_replay_many(
         msa, aes, n_samples, shard, seed_seq, profile, store, keys
@@ -502,7 +551,7 @@ def _run_stream_many_shard(
     metrics = _shard_metrics(
         shard, profile, start, time.perf_counter() - t0, cache, nbytes, **stats
     )
-    return metrics, per_sensor
+    return _attach_remote_delta(metrics, store, snap), per_sensor
 
 
 def _run_characterize_many_shard(
@@ -524,6 +573,7 @@ def _run_characterize_many_shard(
     """
     start = time.time()
     t0 = time.perf_counter()
+    snap = _remote_snapshot(store)
     profile = StageProfile()
     n_sensors = len(sensors)
     blocks: List[Optional[object]] = [None] * n_sensors
@@ -575,9 +625,10 @@ def _run_characterize_many_shard(
             sub_hits=sub_hits, sub_misses=n_sensors - sub_hits,
         )
     nbytes = stats["bytes_read"] + stats["bytes_written"]
-    return _shard_metrics(
+    metrics = _shard_metrics(
         shard, profile, start, time.perf_counter() - t0, cache, nbytes, **stats
     )
+    return _attach_remote_delta(metrics, store, snap)
 
 
 # ----------------------------------------------------------------------
@@ -844,6 +895,7 @@ class Engine:
         progress: Optional[ProgressFn] = None,
         cache: Union[None, str, "BlockStore"] = None,
         telemetry: Optional[Telemetry] = None,
+        schedule: str = "stealing",
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
@@ -854,19 +906,33 @@ class Engine:
         self.progress = progress
         self.telemetry = telemetry or Telemetry()
         self.cache = open_store(cache)
+        self.schedule = validate_schedule(schedule)
         #: Metrics of the most recent run (:class:`EngineMetrics`).
         self.last_metrics: Optional[EngineMetrics] = None
         #: Cache activity accumulated over *all* runs of this engine
         #: (``{"hits", "misses", "partial", "sub_hits", "sub_misses",
-        #: "bytes_read", "bytes_written"}``; the partial/sub keys count
-        #: fan-out shards and their per-sensor sub-blocks) —
-        #: ``last_metrics`` only covers the final campaign of a
-        #: multi-campaign experiment.
+        #: "bytes_read", "bytes_written"}`` plus the tiered-store
+        #: counters: per-tier traffic (``remote_*``), prune races
+        #: (``expired``), write-behind publishing and background
+        #: prefetch (``prefetch_*``)) — ``last_metrics`` only covers
+        #: the final campaign of a multi-campaign experiment.
         self.cache_totals: Dict[str, int] = {
             "hits": 0, "misses": 0, "partial": 0,
             "sub_hits": 0, "sub_misses": 0,
             "bytes_read": 0, "bytes_written": 0,
+            "expired": 0,
+            "remote_hits": 0, "remote_misses": 0,
+            "remote_bytes_read": 0, "remote_bytes_written": 0,
+            "remote_puts": 0, "remote_publish_skipped": 0,
+            "remote_publish_dropped": 0, "remote_errors": 0,
+            "prefetch_fetched": 0, "prefetch_local": 0,
+            "prefetch_missed": 0, "prefetch_bytes": 0,
         }
+        # High-water mark of the parent store's publish-side counters:
+        # _finish_metrics folds the delta since the previous campaign
+        # into cache_totals (publishing happens only in this process —
+        # worker views have it off — so the delta is exact).
+        self._pub_mark: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def cache_hit_rate(self) -> float:
@@ -885,12 +951,32 @@ class Engine:
         t0: float,
         start: float = 0.0,
         events: Sequence[SpanRecord] = (),
+        prefetcher: Optional[RemotePrefetcher] = None,
     ) -> EngineMetrics:
         """Sort shards, stamp the wall clock, fold cache totals, and
         assemble the campaign span tree (shard-index order — identical
-        structure at any worker count)."""
+        structure at any worker count).
+
+        With a tiered store this also drains the write-behind publish
+        queue (so a campaign *returns* only once every missed block is
+        on the remote tier — a second host's warm replay must find a
+        complete cache) and folds the publish/prefetch counters into
+        ``cache_totals``.
+        """
         metrics.shards.sort(key=lambda s: s.shard_index)
         metrics.wall_seconds = time.perf_counter() - t0
+        extra = list(events)
+        prefetch_snap: Dict[str, int] = {}
+        if prefetcher is not None:
+            prefetch_snap = prefetcher.snapshot()
+            extra.append(
+                SpanRecord(
+                    name="cache.prefetch",
+                    start=start,
+                    seconds=prefetcher.busy_seconds,
+                    counters={k: float(v) for k, v in prefetch_snap.items()},
+                )
+            )
         metrics.span = SpanRecord(
             name=f"engine.{metrics.kind}",
             start=start,
@@ -899,10 +985,11 @@ class Engine:
                 "n_items": metrics.n_items,
                 "n_shards": metrics.n_shards,
                 "workers": metrics.workers,
+                "schedule": self.schedule,
             },
             counters={"items": metrics.n_items},
             children=[s.span for s in metrics.shards if s.span is not None]
-            + list(events),
+            + extra,
         )
         self.telemetry.attach(metrics.span)
         self.cache_totals["hits"] += metrics.cache_hits
@@ -912,8 +999,74 @@ class Engine:
         self.cache_totals["sub_misses"] += metrics.cache_sub_misses
         self.cache_totals["bytes_read"] += metrics.cache_bytes_read
         self.cache_totals["bytes_written"] += metrics.cache_bytes_written
+        self.cache_totals["expired"] += metrics.cache_expired
+        self.cache_totals["remote_hits"] += metrics.cache_remote_hits
+        self.cache_totals["remote_misses"] += metrics.cache_remote_misses
+        self.cache_totals["remote_bytes_read"] += metrics.cache_remote_bytes_read
+        for name, value in prefetch_snap.items():
+            self.cache_totals[name] += value
+        if self.cache is not None:
+            self.cache.flush()
+            pub = self._publish_counters()
+            for name, value in pub.items():
+                self.cache_totals[name] += value - self._pub_mark.get(name, 0)
+            self._pub_mark = pub
         self.last_metrics = metrics
         return metrics
+
+    def _publish_counters(self) -> Dict[str, int]:
+        """Current publish-side counters of the parent store (the
+        write-behind thread and any serial-path sync publish run here,
+        never in workers — see :meth:`TieredStore.for_worker`)."""
+        counters = self.cache.counters
+        return {
+            name: int(getattr(counters, name, 0))
+            for name in (
+                "remote_puts", "remote_bytes_written",
+                "remote_publish_skipped", "remote_publish_dropped",
+                "remote_errors",
+            )
+        }
+
+    def _worker_cache(self) -> Optional["BlockStore"]:
+        """The store view shipped to pool workers: read-through stays
+        on, publishing turns off — every remote upload funnels through
+        the parent (one queue, one flush, nothing orphaned when a
+        worker exits via ``os._exit``)."""
+        return self.cache.for_worker() if self.cache is not None else None
+
+    def _plan_cache_traffic(
+        self, tasks: Sequence[ShardTask]
+    ) -> Tuple[Optional[List[str]], Optional[RemotePrefetcher]]:
+        """Classify shards against the store's tiers and kick off
+        background prefetch of remote-tier blocks.
+
+        Classification costs one batched remote round trip, so it is
+        skipped when nothing would use it: no cache, or a plain local
+        store under a serial / static plan.
+        """
+        if self.cache is None:
+            return None, None
+        tiered = hasattr(self.cache, "fetch")
+        stealing = self.workers > 1 and self.schedule == "stealing"
+        if not (tiered or stealing):
+            return None, None
+        classes, tiers = classify_tasks(self.cache, tasks)
+        prefetcher = None
+        if tiered:
+            remote_keys = [k for k, tier in sorted(tiers.items()) if tier == "remote"]
+            if remote_keys:
+                prefetcher = RemotePrefetcher(self.cache, remote_keys)
+        return classes, prefetcher
+
+    def _publish_after(self, task: ShardTask, sm: ShardMetrics) -> None:
+        """Pool-path write-behind: workers publish locally only, so as
+        each missed shard completes the parent enqueues its block keys
+        for remote upload (overlapping the rest of the campaign)."""
+        if self.workers == 1 or not hasattr(self.cache, "publish_async"):
+            return
+        if sm.cache in ("miss", "partial"):
+            self.cache.publish_async(flatten_keys(task.key))
 
     def _shard_keys(
         self,
@@ -970,6 +1123,10 @@ class Engine:
         """Run a shard plan serially or on a pool, collecting metrics."""
         if keys is None:
             keys = [None] * len(shards)
+        tasks = [
+            ShardTask(i, shard, seq, key)
+            for i, (shard, seq, key) in enumerate(zip(shards, seqs, keys))
+        ]
         metrics = EngineMetrics(
             kind=kind,
             n_items=n_items,
@@ -978,30 +1135,27 @@ class Engine:
         )
         start = time.time()
         t0 = time.perf_counter()
-        if self.workers == 1:
+        classes, prefetcher = self._plan_cache_traffic(tasks)
+        try:
             done = 0
-            for shard, seq, key in zip(shards, seqs, keys):
-                sm = serial_body(shard, seq, key)
+            for task, sm in dispatch(
+                tasks,
+                workers=self.workers,
+                schedule=self.schedule,
+                serial_body=serial_body,
+                pool_task=pool_task,
+                pool_initializer=pool_initializer,
+                pool_initargs=pool_initargs,
+                classes=classes,
+            ):
                 metrics.shards.append(sm)
-                done += shard.size
+                self._publish_after(task, sm)
+                done += task.shard.size
                 self._emit(kind, done, n_items, sm)
-        else:
-            with ProcessPoolExecutor(
-                max_workers=min(self.workers, len(shards)),
-                initializer=pool_initializer,
-                initargs=pool_initargs,
-            ) as pool:
-                futures = {
-                    pool.submit(pool_task, shard, seq, key): shard
-                    for shard, seq, key in zip(shards, seqs, keys)
-                }
-                done = 0
-                for future in as_completed(futures):
-                    sm = future.result()
-                    metrics.shards.append(sm)
-                    done += futures[future].size
-                    self._emit(kind, done, n_items, sm)
-        return self._finish_metrics(metrics, t0, start)
+        finally:
+            if prefetcher is not None:
+                prefetcher.stop()
+        return self._finish_metrics(metrics, t0, start, prefetcher=prefetcher)
 
     # ------------------------------------------------------------------
     def collect(
@@ -1066,7 +1220,7 @@ class Engine:
                     _init_collect_worker,
                     (
                         acquisition, bytes(aes.key), n_samples,
-                        buffers.spec_for_worker, self.cache,
+                        buffers.spec_for_worker, self._worker_cache(),
                     ),
                     keys=keys,
                 )
@@ -1185,7 +1339,7 @@ class Engine:
                     _init_collect_many_worker,
                     (
                         msa, bytes(aes.key), n_samples,
-                        buffers.spec_for_worker, self.cache,
+                        buffers.spec_for_worker, self._worker_cache(),
                     ),
                     keys=keys,
                 )
@@ -1368,41 +1522,41 @@ class Engine:
                             on_checkpoint(end, master)
                 next_index += 1
 
-        if self.workers == 1:
+        tasks = [
+            ShardTask(i, shard, seq, bkey)
+            for i, (shard, seq, bkey) in enumerate(zip(shards, seqs, keys))
+        ]
+        classes, prefetcher = self._plan_cache_traffic(tasks)
+        try:
             done = 0
-            for shard, seq, bkey in zip(shards, seqs, keys):
-                sm, segments = _run_stream_shard(
+            for task, (sm, segments) in dispatch(
+                tasks,
+                workers=self.workers,
+                schedule=self.schedule,
+                serial_body=lambda shard, seq, bkey: _run_stream_shard(
                     acquisition, aes, n_samples, shard, seq,
                     consumer_factory, chunk_size, boundaries,
                     store=self.cache, key=bkey,
-                )
-                metrics.shards.append(sm)
-                pending[shard.index] = segments
-                fold_ready()
-                done += shard.size
-                self._emit("stream", done, n_traces, sm)
-        else:
-            with ProcessPoolExecutor(
-                max_workers=min(self.workers, len(shards)),
-                initializer=_init_stream_worker,
-                initargs=(
-                    acquisition, bytes(aes.key), n_samples,
-                    consumer_factory, chunk_size, boundaries, self.cache,
                 ),
-            ) as pool:
-                futures = {
-                    pool.submit(_stream_shard_task, shard, seq, bkey): shard
-                    for shard, seq, bkey in zip(shards, seqs, keys)
-                }
-                done = 0
-                for future in as_completed(futures):
-                    sm, segments = future.result()
-                    metrics.shards.append(sm)
-                    pending[futures[future].index] = segments
-                    fold_ready()
-                    done += futures[future].size
-                    self._emit("stream", done, n_traces, sm)
-        self._finish_metrics(metrics, t0, start, events)
+                pool_task=_stream_shard_task,
+                pool_initializer=_init_stream_worker,
+                pool_initargs=(
+                    acquisition, bytes(aes.key), n_samples,
+                    consumer_factory, chunk_size, boundaries,
+                    self._worker_cache(),
+                ),
+                classes=classes,
+            ):
+                metrics.shards.append(sm)
+                self._publish_after(task, sm)
+                pending[task.shard.index] = segments
+                fold_ready()
+                done += task.shard.size
+                self._emit("stream", done, n_traces, sm)
+        finally:
+            if prefetcher is not None:
+                prefetcher.stop()
+        self._finish_metrics(metrics, t0, start, events, prefetcher=prefetcher)
         return master
 
     def _replay_attack_states(
@@ -1425,7 +1579,10 @@ class Engine:
         """
         blocks = {}
         for end in snap_points:
-            block = self.cache.get(state_keys[end])
+            # expect=True: contains() said yes moments ago, so a miss
+            # here is a prune race — counted as `expired`, then the
+            # caller streams the campaign normally.
+            block = self.cache.get(state_keys[end], expect=True)
             if block is None:
                 return None
             blocks[end] = block
@@ -1552,41 +1709,41 @@ class Engine:
                                 on_checkpoint(s_i, end, masters[s_i])
                 next_index += 1
 
-        if self.workers == 1:
+        tasks = [
+            ShardTask(i, shard, seq, bkeys)
+            for i, (shard, seq, bkeys) in enumerate(zip(shards, seqs, keys))
+        ]
+        classes, prefetcher = self._plan_cache_traffic(tasks)
+        try:
             done = 0
-            for shard, seq, bkeys in zip(shards, seqs, keys):
-                sm, per_sensor = _run_stream_many_shard(
+            for task, (sm, per_sensor) in dispatch(
+                tasks,
+                workers=self.workers,
+                schedule=self.schedule,
+                serial_body=lambda shard, seq, bkeys: _run_stream_many_shard(
                     msa, aes, n_samples, shard, seq,
                     consumer_factory, chunk_size, boundaries,
                     store=self.cache, keys=bkeys,
-                )
-                metrics.shards.append(sm)
-                pending[shard.index] = per_sensor
-                fold_ready()
-                done += shard.size
-                self._emit("stream_many", done, n_traces, sm)
-        else:
-            with ProcessPoolExecutor(
-                max_workers=min(self.workers, len(shards)),
-                initializer=_init_stream_many_worker,
-                initargs=(
-                    msa, bytes(aes.key), n_samples,
-                    consumer_factory, chunk_size, boundaries, self.cache,
                 ),
-            ) as pool:
-                futures = {
-                    pool.submit(_stream_many_shard_task, shard, seq, bkeys): shard
-                    for shard, seq, bkeys in zip(shards, seqs, keys)
-                }
-                done = 0
-                for future in as_completed(futures):
-                    sm, per_sensor = future.result()
-                    metrics.shards.append(sm)
-                    pending[futures[future].index] = per_sensor
-                    fold_ready()
-                    done += futures[future].size
-                    self._emit("stream_many", done, n_traces, sm)
-        self._finish_metrics(metrics, t0, start, events)
+                pool_task=_stream_many_shard_task,
+                pool_initializer=_init_stream_many_worker,
+                pool_initargs=(
+                    msa, bytes(aes.key), n_samples,
+                    consumer_factory, chunk_size, boundaries,
+                    self._worker_cache(),
+                ),
+                classes=classes,
+            ):
+                metrics.shards.append(sm)
+                self._publish_after(task, sm)
+                pending[task.shard.index] = per_sensor
+                fold_ready()
+                done += task.shard.size
+                self._emit("stream_many", done, n_traces, sm)
+        finally:
+            if prefetcher is not None:
+                prefetcher.stop()
+        self._finish_metrics(metrics, t0, start, events, prefetcher=prefetcher)
         return masters
 
     # ------------------------------------------------------------------
@@ -1637,7 +1794,7 @@ class Engine:
                 lambda shard, seq, bkey: None,
                 _characterize_shard_task,
                 _init_characterize_worker,
-                (sensor, droop, noise, buffers.spec_for_worker, self.cache),
+                (sensor, droop, noise, buffers.spec_for_worker, self._worker_cache()),
                 keys=keys,
             )
             return buffers.copy_out("out")
@@ -1717,7 +1874,7 @@ class Engine:
                 lambda shard, seq, bkeys: None,
                 _characterize_many_shard_task,
                 _init_characterize_many_worker,
-                (sensors, droops, noises, buffers.spec_for_worker, self.cache),
+                (sensors, droops, noises, buffers.spec_for_worker, self._worker_cache()),
                 keys=keys,
             )
             out = buffers.copy_out("out")

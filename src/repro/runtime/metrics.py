@@ -195,6 +195,35 @@ class EngineMetrics:
         """Bytes published to the store across all shards."""
         return sum(s.cache_bytes_written for s in self.shards)
 
+    def _span_counter_total(self, name: str) -> int:
+        """Sum one span counter across shard spans (tiered-store
+        shard bodies stamp remote activity there — a shard that never
+        touched the remote tier carries no such counter)."""
+        return int(
+            sum(s.span.counter(name) for s in self.shards if s.span is not None)
+        )
+
+    @property
+    def cache_remote_hits(self) -> int:
+        """Blocks served by read-through from the remote tier."""
+        return self._span_counter_total("cache_remote_hits")
+
+    @property
+    def cache_remote_misses(self) -> int:
+        """Remote-tier lookups that found nothing usable."""
+        return self._span_counter_total("cache_remote_misses")
+
+    @property
+    def cache_remote_bytes_read(self) -> int:
+        """Wire bytes pulled from the remote tier during this run."""
+        return self._span_counter_total("cache_remote_bytes_read")
+
+    @property
+    def cache_expired(self) -> int:
+        """Lookups of keys the store *expected* to hold but had lost
+        (pruned/evicted between ``contains`` and read)."""
+        return self._span_counter_total("cache_expired")
+
     def cache_summary(self) -> Dict[str, object]:
         """Flat JSON-friendly cache view of this run."""
         return {
@@ -207,6 +236,10 @@ class EngineMetrics:
             "hit_rate": round(self.cache_hit_rate, 4),
             "bytes_read": self.cache_bytes_read,
             "bytes_written": self.cache_bytes_written,
+            "remote_hits": self.cache_remote_hits,
+            "remote_misses": self.cache_remote_misses,
+            "remote_bytes_read": self.cache_remote_bytes_read,
+            "expired": self.cache_expired,
         }
 
     def stage_items_per_second(self) -> Dict[str, float]:

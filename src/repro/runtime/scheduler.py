@@ -1,0 +1,285 @@
+"""Shard dispatch: work-stealing order, static partitioning, prefetch.
+
+Before this module the engine pre-assigned nothing but *submitted*
+every shard up front and let ``as_completed`` collect them — which is
+already a work-stealing shared queue *if* the submission order is
+right.  What was missing is the ordering: a mixed warm/cold campaign
+(half the blocks cached, half to acquire) finishes in milliseconds for
+warm shards and seconds for cold ones, so any scheduler that binds
+shards to workers up front (the ``"static"`` mode here, kept as the
+measurable baseline) strands cores: one worker draws the cold
+contiguous run while the others blow through warm shards and idle.
+
+``"stealing"`` classifies every shard against the store's tiers and
+feeds the shared queue **cold first** (longest work first — the LPT
+heuristic that bounds makespan), **local-warm next** (cheap, fills
+tail gaps), **remote-warm last** — which buys the background
+:class:`RemotePrefetcher` the whole cold-compute window to pull remote
+blocks into the local tier before any worker asks for them.  Fetch
+overlaps compute; by the time remote shards dispatch they are local
+reads.
+
+Bit-identity is untouched by any of this: a shard's output depends
+only on its block key and its own SeedSequence lineage (never on which
+worker runs it or when), collect writes land in disjoint
+``shard.slice`` regions, and the streaming paths fold completed shards
+in index order regardless of arrival order.  Scheduling here can only
+change *when* a shard runs, never *what* it computes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.runtime.sharding import Shard
+
+#: Engine scheduling modes.
+SCHEDULES = ("stealing", "static")
+
+#: Dispatch order of cache classes under ``"stealing"`` (see module
+#: docstring for why cold leads and remote trails).
+_CLASS_RANK = {"cold": 0, "local": 1, "remote": 2}
+
+
+def validate_schedule(schedule: str) -> str:
+    """Check an engine ``schedule`` argument; returns it."""
+    if schedule not in SCHEDULES:
+        raise ConfigurationError(
+            f"schedule must be one of {SCHEDULES}, got {schedule!r}"
+        )
+    return schedule
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One dispatchable unit: a shard, its RNG lineage, its block key.
+
+    ``key`` is ``None`` (cache off), a block key, or a tuple of
+    per-sensor keys (fan-out shards).  ``position`` is the shard's
+    place in the original plan — the order serial runs and static
+    groups preserve.
+    """
+
+    position: int
+    shard: Shard
+    seq: np.random.SeedSequence
+    key: object = None
+
+
+def flatten_keys(key: object) -> List[str]:
+    """The block keys behind a task ``key`` (``[]`` with the cache off)."""
+    if key is None:
+        return []
+    if isinstance(key, (tuple, list)):
+        return [k for k in key if k]
+    return [key]
+
+
+def classify_tasks(
+    store, tasks: Sequence[ShardTask]
+) -> Tuple[List[str], Dict[str, Optional[str]]]:
+    """Sort tasks into ``"cold"``/``"local"``/``"remote"`` classes.
+
+    One batched tier probe covers every key (a tiered store answers
+    the remote side in a single round trip).  A fan-out shard is
+    ``local`` only when *every* sub-block is local, ``cold`` when any
+    sub-block must be computed, and ``remote`` otherwise — the class
+    is the cost to *complete* the shard, and one cold sensor means
+    compute.  Returns ``(classes, tiers)`` so callers can also feed
+    the remote-tier keys to a prefetcher.
+    """
+    if store is None:
+        return ["cold"] * len(tasks), {}
+    all_keys = sorted({k for t in tasks for k in flatten_keys(t.key)})
+    if not all_keys:
+        return ["cold"] * len(tasks), {}
+    tiers = store.tiers_of(all_keys)
+    classes: List[str] = []
+    for task in tasks:
+        keys = flatten_keys(task.key)
+        if not keys:
+            classes.append("cold")
+        elif any(tiers.get(k) is None for k in keys):
+            classes.append("cold")
+        elif all(tiers.get(k) == "local" for k in keys):
+            classes.append("local")
+        else:
+            classes.append("remote")
+    return classes, tiers
+
+
+def steal_order(
+    tasks: Sequence[ShardTask], classes: Optional[Sequence[str]]
+) -> List[int]:
+    """Submission order for the shared queue: cold, local, remote;
+    original plan order within a class (deterministic)."""
+    if classes is None:
+        return list(range(len(tasks)))
+    return sorted(
+        range(len(tasks)),
+        key=lambda i: (_CLASS_RANK.get(classes[i], 0), tasks[i].position),
+    )
+
+
+def static_groups(n_tasks: int, workers: int) -> List[List[int]]:
+    """Contiguous balanced pre-partition (the baseline scheduler).
+
+    Worker ``w`` owns one contiguous run of the shard plan, sizes
+    differing by at most one — exactly the assignment a static
+    scatter would make, with zero stealing.
+    """
+    workers = max(1, min(workers, n_tasks))
+    groups: List[List[int]] = []
+    start = 0
+    for w in range(workers):
+        size = n_tasks // workers + (1 if w < n_tasks % workers else 0)
+        if size:
+            groups.append(list(range(start, start + size)))
+        start += size
+    return groups
+
+
+def run_task_group(task_fn: Callable, triples: Sequence[Tuple]) -> List:
+    """Run a static group's shards inside one worker, in order.
+
+    Module-level so a ``ProcessPoolExecutor`` can pickle it by
+    reference along with the (equally module-level) shard task.
+    """
+    return [task_fn(shard, seq, key) for shard, seq, key in triples]
+
+
+def dispatch(
+    tasks: Sequence[ShardTask],
+    *,
+    workers: int,
+    schedule: str,
+    serial_body: Callable,
+    pool_task: Callable,
+    pool_initializer: Optional[Callable],
+    pool_initargs: Tuple,
+    classes: Optional[Sequence[str]] = None,
+) -> Iterator[Tuple[ShardTask, object]]:
+    """Yield ``(task, result)`` as shards complete.
+
+    ``workers == 1`` runs ``serial_body`` in plan order (the reference
+    semantics every other mode must reproduce bit-identically).  On a
+    pool, ``"stealing"`` submits every shard to the shared queue in
+    :func:`steal_order`; ``"static"`` pre-partitions the plan into
+    contiguous per-worker groups.  Completion (yield) order is
+    arrival order either way — consumers already tolerate it.
+    """
+    if workers == 1:
+        for task in tasks:
+            yield task, serial_body(task.shard, task.seq, task.key)
+        return
+    max_workers = min(workers, len(tasks))
+    with ProcessPoolExecutor(
+        max_workers=max_workers,
+        initializer=pool_initializer,
+        initargs=pool_initargs,
+    ) as pool:
+        if schedule == "static":
+            groups = static_groups(len(tasks), max_workers)
+            futures = {
+                pool.submit(
+                    run_task_group,
+                    pool_task,
+                    [(tasks[i].shard, tasks[i].seq, tasks[i].key) for i in group],
+                ): group
+                for group in groups
+            }
+            for future in as_completed(futures):
+                for i, result in zip(futures[future], future.result()):
+                    yield tasks[i], result
+        else:
+            order = steal_order(tasks, classes)
+            futures = {
+                pool.submit(
+                    pool_task, tasks[i].shard, tasks[i].seq, tasks[i].key
+                ): i
+                for i in order
+            }
+            for future in as_completed(futures):
+                yield tasks[futures[future]], future.result()
+
+
+class RemotePrefetcher:
+    """Pull remote-tier blocks into the local tier behind compute.
+
+    A few daemon threads drain a key queue through ``store.fetch``
+    (download → digest-verify → atomic local publish) while workers
+    chew on cold shards.  Every fetch is counter-neutral for the
+    store's hit/miss accounting — the worker's eventual ``get`` does
+    that — so the prefetcher reports its own totals: blocks fetched,
+    wire bytes moved, and busy seconds (the fetch time that overlapped
+    compute instead of serializing with it).
+    """
+
+    def __init__(self, store, keys: Sequence[str], threads: int = 4) -> None:
+        self.store = store
+        self._queue = deque(keys)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self.counters: Dict[str, int] = {
+            "prefetch_fetched": 0,
+            "prefetch_local": 0,
+            "prefetch_missed": 0,
+            "prefetch_bytes": 0,
+        }
+        self.busy_seconds = 0.0
+        self._threads = [
+            threading.Thread(
+                target=self._run, name=f"repro-prefetch-{i}", daemon=True
+            )
+            for i in range(max(1, min(threads, len(keys))))
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            with self._lock:
+                if not self._queue:
+                    return
+                key = self._queue.popleft()
+            t0 = time.perf_counter()
+            try:
+                outcome, wire_bytes = self.store.fetch(key)
+            except Exception:
+                outcome, wire_bytes = "error", 0
+            seconds = time.perf_counter() - t0
+            with self._lock:
+                self.busy_seconds += seconds
+                if outcome == "fetched":
+                    self.counters["prefetch_fetched"] += 1
+                    self.counters["prefetch_bytes"] += wire_bytes
+                elif outcome == "local":
+                    self.counters["prefetch_local"] += 1
+                else:
+                    self.counters["prefetch_missed"] += 1
+
+    def stop(self) -> None:
+        """Stop pulling and join (in-flight fetches finish)."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=30)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self.counters)

@@ -178,6 +178,17 @@ class CacheAwareScheduler:
         if self._inflight.get(job.key) is job:
             del self._inflight[job.key]
 
+    def note_warm(self, footprint: str) -> None:
+        """Record a cache footprint as warm without dispatching a job.
+
+        Dispatch marks footprints warm implicitly; this is the explicit
+        path for warmth learned another way — a completed job whose
+        cache counters show its blocks really are in the store, or a
+        fleet peer that published the footprint's blocks to the shared
+        remote tier."""
+        if footprint:
+            self._warm.add(footprint)
+
     # -- introspection -------------------------------------------------
     def pending_count(self) -> int:
         return sum(len(q) for q in self._pending.values())

@@ -171,6 +171,7 @@ async def serve(
     workers: int = 2,
     cache_dir: Optional[str] = None,
     cache_max_bytes: Optional[int] = None,
+    remote_cache: Optional[str] = None,
     run_root: Optional[str] = None,
     max_active: int = 8,
 ) -> None:
@@ -182,6 +183,7 @@ async def serve(
         quota=TenantQuota(max_active=max_active),
         cache_dir=cache_dir,
         cache_max_bytes=cache_max_bytes,
+        remote_cache=remote_cache,
         run_root=run_root,
     )
     server = ServiceServer(service, socket_path)

@@ -92,6 +92,7 @@ class CampaignService:
         per_tenant: Optional[Mapping[str, TenantQuota]] = None,
         cache_dir: Optional[str] = None,
         cache_max_bytes: Optional[int] = None,
+        remote_cache: Optional[str] = None,
         run_root: Optional[str] = None,
         executor=None,
         clock: Callable[[], float] = time.time,
@@ -101,6 +102,7 @@ class CampaignService:
         self.workers = workers
         self.cache_dir = cache_dir
         self.cache_max_bytes = cache_max_bytes
+        self.remote_cache = remote_cache
         self.run_root = run_root
         self.ledger = QuotaLedger(quota, per_tenant)
         self.scheduler = CacheAwareScheduler(self.ledger)
@@ -395,6 +397,16 @@ class CampaignService:
     ) -> None:
         """Finalize a primary and fan its outcome out to followers."""
         self.scheduler.finish(job)
+        if state is JobState.COMPLETED and payload is not None:
+            cache = payload.get("cache") or {}
+            # The run's own counters prove the footprint's blocks are
+            # in the store (written on miss, present on hit) — confirm
+            # the warmth dispatch assumed optimistically.
+            if any(
+                cache.get(k)
+                for k in ("hits", "misses", "partial", "remote_hits")
+            ):
+                self.scheduler.note_warm(job.footprint)
         members = [job, *job.followers]
         for member in members:
             if member.done:
@@ -427,6 +439,7 @@ class CampaignService:
             progress=self._progress_hook(job),
             cache_dir=self.cache_dir,
             cache_max_bytes=self.cache_max_bytes,
+            remote_cache=self.remote_cache,
             run_dir=run_dir,
         )
         result = registry.run(request.experiment, config)

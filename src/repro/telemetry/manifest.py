@@ -62,12 +62,17 @@ def build_manifest(
     chunk_size: Optional[int] = None,
     options: Optional[Mapping[str, Any]] = None,
     extra: Optional[Mapping[str, Any]] = None,
+    cache_provenance: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble the manifest for one run.
 
     ``options`` must be canonicalizable (plain scalars / sequences /
     mappings / numpy values — the block-key rules); ``extra`` is free
     identity payload folded into the config hash (e.g. a kernel name).
+    ``cache_provenance`` records where this run's blocks lived (store
+    tiers, producing host, schedule) — environment description, like
+    ``host``/``versions``, so it stays *outside* the config hash:
+    which cache served a block never changes what the block holds.
     """
     config: Dict[str, Any] = {
         "experiment": experiment,
@@ -95,6 +100,7 @@ def build_manifest(
             "node": platform.node(),
             "cpu_count": os.cpu_count(),
         },
+        "cache_provenance": dict(cache_provenance) if cache_provenance else None,
         "git_sha": _git_sha(),
     }
 

@@ -25,8 +25,15 @@ from repro.traces.blockstore import (
     block_key,
     open_store,
     seed_lineage,
+    verify_blob,
 )
 from repro.traces.store import TraceSet
+from repro.traces.store_backends import (
+    HTTPBackend,
+    LocalDirBackend,
+    StoreBackend,
+    TieredStore,
+)
 from repro.traces.transport import AcquisitionPlan, CaptureBuffer, UartLink
 
 __all__ = [
@@ -47,4 +54,9 @@ __all__ = [
     "block_key",
     "open_store",
     "seed_lineage",
+    "verify_blob",
+    "HTTPBackend",
+    "LocalDirBackend",
+    "StoreBackend",
+    "TieredStore",
 ]

@@ -44,8 +44,8 @@ import dataclasses
 import hashlib
 import json
 import os
+import platform
 import struct
-import uuid
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -54,6 +54,11 @@ from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
 import numpy as np
 
 from repro.errors import CacheError, CacheIntegrityWarning
+from repro.traces.store_backends.base import (
+    BLOCK_SUFFIX,
+    TMP_PREFIX,
+    LocalDirBackend,
+)
 
 #: Bump when the meaning of cached bytes changes (kernel semantics, RNG
 #: consumption order, array layout).  Part of every block key, so a
@@ -67,8 +72,8 @@ MAGIC = b"RPROBLK\x01"
 ALIGN = 64
 
 _HEADER_LEN_FMT = "<Q"
-_TMP_PREFIX = ".tmp-"
-_BLOCK_SUFFIX = ".blk"
+_TMP_PREFIX = TMP_PREFIX
+_BLOCK_SUFFIX = BLOCK_SUFFIX
 
 
 # ----------------------------------------------------------------------
@@ -213,6 +218,61 @@ def peek_block_meta(path) -> Dict[str, object]:
     return meta
 
 
+def read_blob_header(blob: bytes) -> Tuple[Dict[str, object], int]:
+    """Parse a serialized block's header from its bytes.
+
+    Returns ``(header, payload_start)``.  Raises ``ValueError`` on
+    anything that is not a well-formed current-schema block.
+    """
+    size = len(blob)
+    fixed = len(MAGIC) + struct.calcsize(_HEADER_LEN_FMT)
+    if size < fixed or blob[: len(MAGIC)] != MAGIC:
+        raise ValueError("bad magic (not a block file or truncated)")
+    (header_len,) = struct.unpack(
+        _HEADER_LEN_FMT, blob[len(MAGIC): fixed]
+    )
+    if header_len <= 0 or fixed + header_len > size:
+        raise ValueError("implausible header length")
+    try:
+        header = json.loads(blob[fixed: fixed + header_len].decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"unreadable header: {exc}") from None
+    if not isinstance(header, dict):
+        raise ValueError("block header is not a mapping")
+    if header.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"schema {header.get('schema')!r} != current {SCHEMA_VERSION}"
+        )
+    prefix = fixed + header_len
+    return header, prefix + _pad(prefix)
+
+
+def verify_blob(blob: bytes, key: Optional[str] = None) -> Dict[str, object]:
+    """Fully validate a serialized block's bytes; returns its header.
+
+    The whole trust story of remote tiers rests here: both the server
+    (on PUT) and the tiered store (on remote ingest) run every blob
+    through this before publishing it locally, so bytes that crossed a
+    wire can be lost or rejected but can never change results.  Checks
+    magic, header well-formedness, schema, the stored key against
+    ``key`` (the address the blob claims to live at), payload length
+    and the payload SHA-256.  Raises ``ValueError`` on any mismatch.
+    """
+    header, payload_start = read_blob_header(blob)
+    if key is not None and header.get("key") != key:
+        raise ValueError("stored key does not match its address")
+    payload_nbytes = int(header["payload_nbytes"])
+    if payload_start + payload_nbytes > len(blob):
+        raise ValueError(
+            f"truncated payload: blob has {len(blob) - payload_start} of "
+            f"{payload_nbytes} bytes"
+        )
+    payload = blob[payload_start: payload_start + payload_nbytes]
+    if hashlib.sha256(payload).hexdigest() != header.get("digest"):
+        raise ValueError("payload digest mismatch")
+    return header
+
+
 @dataclass
 class CachedBlock:
     """One block read back from the store.
@@ -245,6 +305,24 @@ class CacheCounters:
     puts: int = 0
     evictions: int = 0
     integrity_failures: int = 0
+    #: Misses on a key the caller had just seen via ``contains()`` — a
+    #: block pruned/evicted in the race window.  Benign (the shard is
+    #: re-acquired), but worth counting: a busy ``expired`` stream means
+    #: the size cap is too tight for the working set.
+    expired: int = 0
+    # --- remote tier (all zero on a purely local store) ---------------
+    remote_hits: int = 0
+    remote_misses: int = 0
+    remote_bytes_read: int = 0
+    remote_bytes_written: int = 0
+    remote_puts: int = 0
+    #: Write-behind publishes skipped because the remote already had
+    #: the block (another host in the fleet won the race).
+    remote_publish_skipped: int = 0
+    #: Write-behind publishes dropped because the local block was
+    #: evicted before the publisher got to it.
+    remote_publish_dropped: int = 0
+    remote_errors: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -263,6 +341,15 @@ class CacheCounters:
             "puts": self.puts,
             "evictions": self.evictions,
             "integrity_failures": self.integrity_failures,
+            "expired": self.expired,
+            "remote_hits": self.remote_hits,
+            "remote_misses": self.remote_misses,
+            "remote_bytes_read": self.remote_bytes_read,
+            "remote_bytes_written": self.remote_bytes_written,
+            "remote_puts": self.remote_puts,
+            "remote_publish_skipped": self.remote_publish_skipped,
+            "remote_publish_dropped": self.remote_publish_dropped,
+            "remote_errors": self.remote_errors,
         }
 
     def telemetry_counters(self) -> Dict[str, float]:
@@ -342,6 +429,7 @@ class BlockStore:
         self.root = Path(root)
         self.max_bytes = max_bytes
         self.verify_reads = verify_reads
+        self.backend = LocalDirBackend(self.root)
         self.counters = CacheCounters()
 
     # A store pickles as its configuration: worker processes reopen the
@@ -364,23 +452,41 @@ class BlockStore:
     # ------------------------------------------------------------------
     def path_for(self, key: str) -> Path:
         """Where a block with this key lives (two-level fan-out)."""
-        return self.root / key[:2] / (key + _BLOCK_SUFFIX)
+        return self.backend.path_for(key)
 
     def _iter_block_paths(self) -> Iterator[Path]:
-        if not self.root.is_dir():
-            return
-        for sub in sorted(self.root.iterdir()):
-            if not sub.is_dir():
-                continue
-            for path in sorted(sub.iterdir()):
-                if path.name.endswith(_BLOCK_SUFFIX) and not path.name.startswith(
-                    _TMP_PREFIX
-                ):
-                    yield path
+        return self.backend.iter_paths()
 
     def contains(self, key: str) -> bool:
         """Whether a block is published (no integrity check)."""
-        return self.path_for(key).is_file()
+        return self.backend.contains(key)
+
+    def tier_of(self, key: str) -> Optional[str]:
+        """Which tier would answer a :meth:`get` (``"local"``/``None``).
+
+        Tiered stores add ``"remote"``; schedulers use this to sort
+        shards into cold/warm classes without reading any payloads.
+        """
+        return "local" if self.backend.contains(key) else None
+
+    def tiers_of(self, keys) -> Dict[str, Optional[str]]:
+        """:meth:`tier_of` for many keys (tiered stores batch this)."""
+        return {key: self.tier_of(key) for key in keys}
+
+    def for_worker(self) -> "BlockStore":
+        """The store an engine worker process should be handed.
+
+        A plain store ships as-is; tiered stores return a read-through
+        view with write-behind publishing disabled, so all remote
+        publishing funnels through the parent process (one publisher,
+        one flush point)."""
+        return self
+
+    def flush(self, timeout: Optional[float] = None) -> None:
+        """Wait for background publishing to drain (no-op here)."""
+
+    def close(self) -> None:
+        """Release background resources (no-op here)."""
 
     # ------------------------------------------------------------------
     def put(
@@ -393,57 +499,82 @@ class BlockStore:
 
         Safe under concurrent writers: the block is fully written to a
         unique temp file in the target directory, flushed, and then
-        renamed over the final path.  Readers never observe a partial
-        block, and a crash leaves at worst an orphaned temp file (swept
-        by :meth:`clear`/:meth:`prune`).
+        renamed over the final path (see :meth:`LocalDirBackend.
+        put_blob`).  Readers never observe a partial block, and a crash
+        leaves at worst an orphaned temp file (swept by :meth:`clear`/
+        :meth:`prune`).
+
+        Every published block carries provenance in its meta — the
+        producing host, pid, backend and schema version — so a fleet
+        sharing one remote tier can always answer "who computed this".
+        Provenance lives in the header only; it is never part of the
+        key or the payload digest.
         """
         if not arrays:
             raise CacheError("a block needs at least one array")
-        path = self.path_for(key)
+        meta = dict(meta) if meta is not None else {}
+        meta.setdefault("provenance", self.provenance())
         blob = _serialize(key, arrays, meta)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.parent / f"{_TMP_PREFIX}{key[:16]}-{os.getpid()}-{uuid.uuid4().hex}"
-        try:
-            with open(tmp, "wb") as fh:
-                fh.write(blob)
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, path)
-        except BaseException:
-            tmp.unlink(missing_ok=True)
-            raise
+        path = self.backend.put_blob(key, blob)
         self.counters.puts += 1
         self.counters.bytes_written += len(blob)
         if self.max_bytes is not None:
             self.prune(self.max_bytes)
         return path
 
-    def get(self, key: str, touch: bool = True) -> Optional[CachedBlock]:
+    def provenance(self) -> Dict[str, object]:
+        """Who/where a block published by this store comes from."""
+        return {
+            "host": platform.node() or "unknown",
+            "pid": os.getpid(),
+            "backend": self.backend.describe(),
+            "schema": SCHEMA_VERSION,
+        }
+
+    def get(
+        self, key: str, touch: bool = True, expect: bool = False
+    ) -> Optional[CachedBlock]:
         """Look a block up; ``None`` on miss *or* on a damaged block.
 
         A damaged block (truncated, bad header, digest mismatch) emits
         a :class:`~repro.errors.CacheIntegrityWarning`, is deleted, and
         counts as a miss — the caller re-acquires and re-publishes, so
         corruption can never change results.
+
+        ``expect=True`` marks a lookup the caller has reason to believe
+        will hit (it just saw ``contains()`` succeed).  A miss is then
+        additionally counted as ``expired`` — the pruned-between-check-
+        and-read race — but still behaves exactly like any other miss.
         """
-        path = self.path_for(key)
+        block = self._local_get(key, touch)
+        if block is None:
+            self._miss(expect)
+            return None
+        self.counters.hits += 1
+        self.counters.bytes_read += block.nbytes
+        return block
+
+    def _local_get(self, key: str, touch: bool) -> Optional[CachedBlock]:
+        """Read from the local tier only; ``None`` on (benign) miss."""
+        path = self.backend.path_for(key)
         try:
             block = self._read(key, path)
         except FileNotFoundError:
-            self.counters.misses += 1
             return None
         except (OSError, ValueError) as exc:
             self._quarantine(path, str(exc))
-            self.counters.misses += 1
             return None
         if touch:
             try:
                 os.utime(path)
             except OSError:
                 pass
-        self.counters.hits += 1
-        self.counters.bytes_read += block.nbytes
         return block
+
+    def _miss(self, expect: bool) -> None:
+        self.counters.misses += 1
+        if expect:
+            self.counters.expired += 1
 
     def _read(self, key: str, path: Path) -> CachedBlock:
         size = path.stat().st_size
@@ -551,26 +682,7 @@ class BlockStore:
 
     def clear(self) -> int:
         """Delete every block (and orphaned temp file); returns count."""
-        removed = 0
-        if not self.root.is_dir():
-            return 0
-        for sub in sorted(self.root.iterdir()):
-            if not sub.is_dir():
-                continue
-            for path in sorted(sub.iterdir()):
-                if path.name.endswith(_BLOCK_SUFFIX) or path.name.startswith(
-                    _TMP_PREFIX
-                ):
-                    try:
-                        path.unlink()
-                        removed += 1
-                    except OSError:
-                        continue
-            try:
-                sub.rmdir()
-            except OSError:
-                pass
-        return removed
+        return self.backend.clear()
 
     def prune(self, max_bytes: int) -> int:
         """Evict least-recently-used blocks until under ``max_bytes``.
@@ -608,11 +720,27 @@ class BlockStore:
 def open_store(
     spec: Union[None, str, Path, BlockStore],
     max_bytes: Optional[int] = None,
+    remote: Optional[str] = None,
 ) -> Optional[BlockStore]:
     """Normalize a cache argument: ``None`` stays off, a path becomes a
-    :class:`BlockStore`, a store passes through unchanged."""
-    if spec is None:
-        return None
+    :class:`BlockStore`, a store passes through unchanged.
+
+    With ``remote`` (a ``repro cache serve`` URL) a path becomes a
+    :class:`~repro.traces.store_backends.tiered.TieredStore` layered
+    over that server; ``spec=None`` then gets a per-user local tier
+    under the system temp directory (read-through needs *somewhere* to
+    memmap from).
+    """
     if isinstance(spec, BlockStore):
         return spec
+    if remote:
+        from repro.traces.store_backends.tiered import (
+            TieredStore,
+            default_local_tier,
+        )
+
+        root = Path(spec) if spec is not None else default_local_tier()
+        return TieredStore(root, remote=remote, max_bytes=max_bytes)
+    if spec is None:
+        return None
     return BlockStore(spec, max_bytes=max_bytes)

@@ -7,6 +7,7 @@ never as a crash or silently wrong data.
 """
 
 import os
+import threading
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from functools import partial
@@ -289,6 +290,49 @@ class TestEviction:
     def test_prune_rejects_negative(self, tmp_path):
         with pytest.raises(CacheError):
             BlockStore(tmp_path).prune(-1)
+
+    def test_get_survives_block_pruned_after_contains(self, tmp_path):
+        """Regression: a block evicted between ``contains()`` and the
+        read must come back as a counted miss, never an exception —
+        that is the exact window a concurrent engine's ``prune`` (or a
+        fleet peer's eviction) can hit."""
+        store = BlockStore(tmp_path)
+        key = block_key({"race": 1})
+        store.put(key, {"x": np.zeros(64, dtype=np.int16)})
+        assert store.contains(key)
+        # Another process prunes the store in the gap.
+        BlockStore(tmp_path).prune(max_bytes=0)
+        assert store.get(key, expect=True) is None
+        assert store.counters.misses == 1
+        assert store.counters.expired == 1
+        # Unexpected lookups of never-present keys stay plain misses.
+        assert store.get(block_key({"race": 2})) is None
+        assert store.counters.expired == 1
+        assert store.counters.misses == 2
+
+    def test_racing_prune_during_campaign_reacquires(
+        self, acquisition, tmp_path
+    ):
+        """A prune racing a warm campaign degrades hits to misses,
+        bit-identically."""
+        engine = Engine(workers=1, shard_size=SHARD, cache=str(tmp_path))
+        cold = engine.collect(acquisition, N_TRACES, key=KEY, seed=3)
+
+        pruning = threading.Event()
+
+        class _PruningStore(BlockStore):
+            def get(self, key, touch=True, expect=False):  # noqa: D102
+                if not pruning.is_set():
+                    pruning.set()
+                    super().prune(max_bytes=0)  # everything evicted
+                return super().get(key, touch=touch, expect=expect)
+
+        racy = Engine(
+            workers=1, shard_size=SHARD, cache=_PruningStore(tmp_path)
+        )
+        warm = racy.collect(acquisition, N_TRACES, key=KEY, seed=3)
+        np.testing.assert_array_equal(cold.traces, warm.traces)
+        assert racy.cache_totals["misses"] == 3
 
 
 # ----------------------------------------------------------------------
