@@ -300,3 +300,73 @@ def test_fanout_speedup(benchmark):
     benchmark.extra_info["fanout_traces_per_s_per_sensor"] = round(fanout_tps)
     benchmark.extra_info["speedup_vs_independent"] = round(speedup, 2)
     benchmark.extra_info["report"] = str(OUTPUT.name)
+
+
+def test_metrics_overhead(benchmark):
+    """Live metrics are default-on; this is the bill for that.
+
+    Runs the same streamed campaign with the registry enabled and
+    disabled, interleaved min-of-reps, and gates the enabled path at
+    <= 2% over the disabled one.  Curves must be bit-identical either
+    way — observability can never touch the science.
+    """
+    from repro.experiments.table1_traces import streamed_placement_curve
+    from repro.runtime import Engine
+    from repro.telemetry.metrics import get_registry
+
+    n_traces = 1024
+    reps = 5 if not full_scale() else 8
+    registry = get_registry()
+
+    def campaign():
+        engine = Engine(workers=1, shard_size=256)
+        curve, _ = streamed_placement_curve(
+            engine,
+            "P6",
+            n_traces,
+            512,
+            "LeakyDSP",
+            rng=np.random.SeedSequence(7).spawn(1)[0],
+        )
+        return [(p.n_traces, p.log2_lower, p.log2_upper) for p in curve.points]
+
+    baseline_curve = campaign()  # warm-up (caches, BLAS threads)
+    on_times, off_times = [], []
+    try:
+        for _ in range(reps):
+            registry.enabled = True
+            t0 = time.perf_counter()
+            on_curve = campaign()
+            t1 = time.perf_counter()
+            registry.enabled = False
+            off_curve = campaign()
+            t2 = time.perf_counter()
+            on_times.append(t1 - t0)
+            off_times.append(t2 - t1)
+            assert on_curve == off_curve == baseline_curve
+    finally:
+        registry.enabled = True
+
+    overhead = min(on_times) / min(off_times) - 1.0
+    merge_report(
+        {
+            "metrics_overhead": {
+                "n_traces": n_traces,
+                "reps": reps,
+                "best_seconds_on": min(on_times),
+                "best_seconds_off": min(off_times),
+                "overhead_fraction": overhead,
+            }
+        }
+    )
+
+    # The CI gate: default-on metrics must cost under 2% of campaign
+    # wall clock (min-of-reps, the least load-sensitive estimator).
+    assert overhead <= 0.02, (
+        f"metrics-on campaign is {overhead * 100:.2f}% slower than "
+        f"metrics-off ({min(on_times):.3f}s vs {min(off_times):.3f}s)"
+    )
+
+    run_once(benchmark, campaign)
+    benchmark.extra_info["metrics_overhead_pct"] = round(overhead * 100, 3)
+    benchmark.extra_info["report"] = str(OUTPUT.name)

@@ -1,0 +1,171 @@
+"""Validate cross-process trace stitching end to end.
+
+Fleet-observability smoke: brings up a traced cache server, submits
+**one** campaign through the service layer, and asserts that
+
+* the job is stamped with a single trace id at admission,
+* the engine's run log and the cache server's request trace log both
+  carry that id,
+* ``repro report trace`` stitches them into one Perfetto timeline —
+  engine and cache-server tracks re-based to one shared origin,
+
+exiting non-zero on any violation.  Used by CI's fleet-trace job::
+
+    PYTHONPATH=src python scripts/check_fleet_trace.py
+    PYTHONPATH=src python scripts/check_fleet_trace.py --workers 2
+"""
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import tempfile
+
+#: Small enough for CI, large enough for remote-cache traffic.
+TINY = {"placements": ("P6",), "n_traces": 512, "step": 256}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--experiment",
+        default="fig5",
+        help="registered experiment to submit (default: fig5)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="root seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="acquisition workers for the job (default: 1)",
+    )
+    return parser
+
+
+async def run_job(args, tmp: str, url: str) -> dict:
+    """Submit one campaign through the service against the traced
+    cache server; return the finished job snapshot."""
+    from repro.service import CampaignService
+
+    service = CampaignService(
+        workers=1,
+        cache_dir=os.path.join(tmp, "local"),
+        remote_cache=url,
+        run_root=os.path.join(tmp, "runs"),
+    )
+    await service.start()
+    job = await service.submit(
+        "fleet-check",
+        args.experiment,
+        seed=args.seed,
+        workers=args.workers,
+        shard_size=128,
+        options=TINY,
+    )
+    await service.join(job.id)
+    await service.stop()
+    return job.snapshot()
+
+
+def check_timeline(path: str, trace_id: str) -> "list[str]":
+    """Assert the stitched trace is one coherent multi-process timeline."""
+    failures = []
+    trace = json.loads(open(path).read())
+    spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+    if not spans:
+        return [f"{path} holds no spans"]
+
+    foreign = {
+        e["args"]["trace_id"]
+        for e in spans
+        if "trace_id" in e["args"] and e["args"]["trace_id"] != trace_id
+    }
+    if foreign:
+        failures.append(f"spans from foreign trace ids: {sorted(foreign)}")
+
+    pids = {e["pid"] for e in spans}
+    track_names = {m["args"]["name"] for m in meta}
+    if "cache-server" not in track_names:
+        failures.append(f"no cache-server track (tracks: {sorted(track_names)})")
+    if len(pids) < 2:
+        failures.append(f"expected >= 2 process tracks, got pids {sorted(pids)}")
+
+    names = {e["name"] for e in spans}
+    if not any(name.startswith("run.") for name in names):
+        failures.append(f"no engine run span (names: {sorted(names)})")
+    if not any(name.startswith("cacheserver.") for name in names):
+        failures.append(f"no cache-server request spans (names: {sorted(names)})")
+
+    ts = [e["ts"] for e in spans]
+    if min(ts) != 0:
+        failures.append(f"timeline not re-based to a shared origin (min ts {min(ts)})")
+    if any(e["dur"] < 0 for e in spans):
+        failures.append("negative span durations in the stitched trace")
+
+    if not failures:
+        cache_requests = sum(
+            1 for e in spans if e["name"].startswith("cacheserver.")
+        )
+        print(
+            f"stitched timeline ok: {len(spans)} spans on {len(pids)} "
+            f"tracks, {cache_requests} cache-server requests, one trace "
+            f"id {trace_id}"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    from check_remote_cache import start_server
+
+    from repro.cli import main as repro_main
+
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-") as tmp:
+        trace_log = os.path.join(tmp, "cache-trace.jsonl")
+        # A subprocess server, so the stitched timeline genuinely spans
+        # two processes (engine pid != cache-server pid).
+        proc, url = start_server(
+            os.path.join(tmp, "served"),
+            timeout=30.0,
+            extra_args=("--trace-log", trace_log),
+        )
+        print(f"traced cache server up at {url}")
+        try:
+            snapshot = asyncio.run(run_job(args, tmp, url))
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+        failures = []
+        if snapshot["state"] != "completed":
+            return print(
+                f"FAIL: job ended {snapshot['state']}: {snapshot['error']}",
+                file=sys.stderr,
+            ) or 1
+        trace_id = snapshot["trace_id"]
+        if not trace_id or not trace_id.startswith(snapshot["id"]):
+            failures.append(f"job carries no admission trace id: {trace_id!r}")
+        if not os.path.exists(trace_log):
+            failures.append(
+                "cache server logged no traced requests (no header propagation?)"
+            )
+
+        out = os.path.join(tmp, "fleet-trace.json")
+        run_dir = snapshot["result"]["run_dir"]
+        code = repro_main(
+            ["report", "trace", run_dir, "--trace-log", trace_log, "--out", out]
+        )
+        if code != 0:
+            failures.append(f"repro report trace exited {code}")
+        else:
+            failures.extend(check_timeline(out, trace_id))
+
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

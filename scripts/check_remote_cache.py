@@ -62,7 +62,9 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def start_server(cache_dir: str, timeout: float) -> "tuple[subprocess.Popen, str]":
+def start_server(
+    cache_dir: str, timeout: float, extra_args: "tuple[str, ...]" = ()
+) -> "tuple[subprocess.Popen, str]":
     """Launch ``repro cache serve`` on an ephemeral port; return (proc, url)."""
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
@@ -79,6 +81,7 @@ def start_server(cache_dir: str, timeout: float) -> "tuple[subprocess.Popen, str
             cache_dir,
             "--port",
             "0",
+            *extra_args,
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -204,12 +207,65 @@ def check(args, url, tmp, run_root, read_run, registry, HTTPBackend) -> int:
     else:
         print(f"server holds {served} blocks after the campaign")
 
+    failures.extend(check_metrics_exposition(url, stats))
+
     print(
         f"wall clock: host A {cold_seconds:.2f}s, host B {warm_seconds:.2f}s"
     )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0
+
+
+def check_metrics_exposition(url: str, stats: dict) -> "list[str]":
+    """Scrape ``/metrics`` and hold it to the ``/v1/stats`` numbers.
+
+    The server mirrors every ``count()`` call on its live registry, so
+    the Prometheus exposition and the JSON stats must agree exactly —
+    any drift means an unlocked or missed increment.
+    """
+    import urllib.request
+
+    from repro.telemetry.metrics import parse_prometheus
+
+    failures = []
+    with urllib.request.urlopen(url + "/metrics", timeout=10) as resp:
+        content_type = resp.headers.get("Content-Type", "")
+        text = resp.read().decode()
+    if not content_type.startswith("text/plain"):
+        failures.append(f"/metrics served Content-Type {content_type!r}")
+    parsed = parse_prometheus(text)
+    counters = stats["counters"]
+    kind_series = {
+        kind: f'repro_cache_server_requests_total{{kind="{kind}"}}'
+        for kind in ("gets", "misses", "puts", "rejected_puts", "deletes")
+    }
+    byte_series = {
+        "bytes_in": 'repro_cache_server_bytes_total{direction="in"}',
+        "bytes_out": 'repro_cache_server_bytes_total{direction="out"}',
+    }
+    for counter, series in {**kind_series, **byte_series}.items():
+        want = counters[counter]
+        got = parsed.get(series, 0)
+        if got != want:
+            failures.append(
+                f"/metrics {series} = {got}, /v1/stats says {want}"
+            )
+    for gauge, want in (
+        ("repro_cache_server_blocks", stats["n_blocks"]),
+        ("repro_cache_server_stored_bytes", stats["total_bytes"]),
+    ):
+        if parsed.get(gauge) != want:
+            failures.append(
+                f"/metrics {gauge} = {parsed.get(gauge)}, stats say {want}"
+            )
+    if not failures:
+        print(
+            f"/metrics agrees with /v1/stats "
+            f"(gets={counters['gets']} puts={counters['puts']} "
+            f"blocks={stats['n_blocks']})"
+        )
+    return failures
 
 
 if __name__ == "__main__":

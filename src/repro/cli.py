@@ -10,6 +10,8 @@ Usage::
     python -m repro.cli cache stats --cache-dir ~/.cache/repro-blocks
     python -m repro.cli report summary runs/a
     python -m repro.cli report diff runs/a runs/b
+    python -m repro.cli report trace runs/svc/job-000001 --trace-log cache-trace.jsonl
+    python -m repro.cli top --once
     python -m repro.cli serve --run-root runs/service &
     python -m repro.cli submit fig5 --tenant alice --watch
     python -m repro.cli status job-000001
@@ -147,6 +149,16 @@ def build_parser() -> argparse.ArgumentParser:
             "per-worker pre-partition); bit-identical results either way"
         ),
     )
+    parser.add_argument(
+        "--trace-id",
+        default=None,
+        help=(
+            "fleet trace correlation id (default: $REPRO_TRACE_ID); "
+            "stamped on the run's spans and every remote-cache request "
+            "so 'repro report trace' can stitch one cross-process "
+            "timeline; never part of the run's identity"
+        ),
+    )
     _add_cache_arguments(parser)
     return parser
 
@@ -218,6 +230,15 @@ def build_cache_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with 'serve': log every request to stderr",
     )
+    parser.add_argument(
+        "--trace-log",
+        default=None,
+        help=(
+            "with 'serve': append a span-event JSONL line for every "
+            "traced request (X-Repro-Trace header) to this file; feed "
+            "it to 'repro report trace' to stitch the fleet timeline"
+        ),
+    )
     _add_cache_arguments(parser)
     return parser
 
@@ -236,7 +257,11 @@ def _cache_main(argv) -> int:
         from repro.traces.store_backends import CacheServer
 
         with CacheServer(
-            cache_dir, host=args.host, port=args.port, verbose=args.verbose
+            cache_dir,
+            host=args.host,
+            port=args.port,
+            verbose=args.verbose,
+            trace_log=args.trace_log,
         ) as server:
             print(
                 f"serving {cache_dir} at {server.url} "
@@ -509,6 +534,205 @@ def _drain_stream(stream) -> int:
     return 0 if job["state"] == "completed" else 1
 
 
+def build_top_parser() -> argparse.ArgumentParser:
+    """Parser of the ``top`` live fleet-metrics subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro top",
+        description=(
+            "Live fleet dashboard: tenant queues, job throughput and "
+            "latency quantiles from a running 'repro serve', plus "
+            "cache-tier traffic from a 'repro cache serve' /metrics "
+            "scrape.  Refreshes in place until Ctrl-C."
+        ),
+    )
+    parser.add_argument(
+        "--socket",
+        default=None,
+        help=(
+            "service socket path (default: $REPRO_SERVICE_SOCKET, else "
+            "./repro-service.sock)"
+        ),
+    )
+    parser.add_argument(
+        "--remote-cache",
+        default=None,
+        help=(
+            "cache server URL to scrape /metrics from (default: "
+            "$REPRO_REMOTE_CACHE, else no cache panel)"
+        ),
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="refresh period in seconds (default: 2)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="print one snapshot and exit (scripts and CI)",
+    )
+    return parser
+
+
+def _counter_sum(counters: dict, name: str) -> float:
+    """Sum a counter across its label series in a metrics snapshot."""
+    return sum(
+        value
+        for series, value in counters.items()
+        if series == name or series.startswith(name + "{")
+    )
+
+
+def _label_values(counters: dict, name: str) -> dict:
+    """``{label-suffix: value}`` of one metric's series."""
+    out = {}
+    prefix = name + "{"
+    for series, value in counters.items():
+        if series.startswith(prefix):
+            out[series[len(prefix):-1]] = value
+    return out
+
+
+def _top_panels(stats, snapshot, remote, rates) -> list:
+    """Render one dashboard frame as text lines."""
+    from repro.telemetry.metrics import histogram_quantile
+
+    lines = []
+    if stats is not None:
+        jobs = stats.get("jobs", {})
+        order = ("queued", "running", "completed", "failed", "cancelled")
+        lines.append(
+            "jobs      "
+            + "  ".join(f"{state} {jobs.get(state, 0)}" for state in order)
+            + f"  |  pending {stats.get('pending', 0)}"
+        )
+        queued = stats.get("queued_by_tenant", {})
+        active = stats.get("active_by_tenant", {})
+        tenants = sorted(set(queued) | set(active))
+        if tenants:
+            lines.append(
+                "tenants   "
+                + "  ".join(
+                    f"{t}: queued {queued.get(t, 0)} active {active.get(t, 0)}"
+                    for t in tenants
+                )
+            )
+    if snapshot is not None:
+        counters = snapshot.get("counters", {})
+        hists = snapshot.get("histograms", {})
+        items = _counter_sum(counters, "repro_engine_items_total")
+        line = (
+            f"engine    items {items:,.0f}"
+            f"  shards {_counter_sum(counters, 'repro_engine_shards_total'):,.0f}"
+            f"  steals {_counter_sum(counters, 'repro_engine_steals_total'):,.0f}"
+        )
+        if rates.get("items_per_s") is not None:
+            line += f"  |  {rates['items_per_s']:,.0f} items/s"
+        lines.append(line)
+        latency_bits = []
+        for label, series in (
+            ("run", "repro_service_run_seconds"),
+            ("queue-wait", "repro_service_queue_wait_seconds"),
+        ):
+            hist = hists.get(series)
+            if hist and hist.get("count"):
+                p50 = histogram_quantile(hist, 0.5)
+                p95 = histogram_quantile(hist, 0.95)
+                latency_bits.append(f"{label} p50 {p50:.2f}s p95 {p95:.2f}s")
+        if latency_bits:
+            lines.append("latency   " + "  |  ".join(latency_bits))
+        lookups = {
+            key.partition("=")[2].strip('"'): value
+            for key, value in _label_values(
+                counters, "repro_cache_lookups_total"
+            ).items()
+        }
+        if lookups:
+            lines.append(
+                "cache     "
+                + "  ".join(
+                    f"{outcome} {value:,.0f}"
+                    for outcome, value in sorted(lookups.items())
+                )
+            )
+    if remote is not None:
+        served = _counter_sum(remote, "repro_cache_server_requests_total")
+        blocks = remote.get("repro_cache_server_blocks", 0)
+        stored = remote.get("repro_cache_server_stored_bytes", 0)
+        inflight = remote.get("repro_cache_server_inflight", 0)
+        wire_in = remote.get('repro_cache_server_bytes_total{direction="in"}', 0)
+        wire_out = remote.get('repro_cache_server_bytes_total{direction="out"}', 0)
+        lines.append(
+            f"cache srv {served:,.0f} requests  inflight {inflight:,.0f}"
+            f"  |  {blocks:,.0f} blocks {stored / 1e6:,.1f}MB stored"
+            f"  |  wire in {wire_in / 1e6:,.1f}MB out {wire_out / 1e6:,.1f}MB"
+        )
+    return lines
+
+
+def _top_main(argv) -> int:
+    """The ``repro top`` live dashboard entry."""
+    args = build_top_parser().parse_args(argv)
+    from repro.errors import ReproError, ServiceError
+    from repro.service.client import ServiceClient
+
+    remote_url = args.remote_cache or os.environ.get("REPRO_REMOTE_CACHE")
+    client = ServiceClient(args.socket, timeout=10.0)
+    prev_items = None
+    prev_t = None
+    while True:
+        stats = snapshot = remote = None
+        errors = []
+        try:
+            stats = client.ping()
+            snapshot = client.metrics()["metrics"]
+        except ServiceError as exc:
+            errors.append(str(exc))
+        if remote_url:
+            from repro.telemetry.metrics import parse_prometheus
+            from repro.traces.store_backends import HTTPBackend
+
+            try:
+                status, body = HTTPBackend(remote_url)._request("GET", "/metrics")
+                if status == 200:
+                    remote = parse_prometheus(body.decode())
+                else:
+                    errors.append(f"{remote_url}/metrics answered {status}")
+            except ReproError as exc:
+                errors.append(str(exc))
+        rates = {}
+        now = time.monotonic()
+        if snapshot is not None:
+            items = _counter_sum(
+                snapshot.get("counters", {}), "repro_engine_items_total"
+            )
+            if prev_items is not None and now > prev_t:
+                rates["items_per_s"] = max(0.0, items - prev_items) / (
+                    now - prev_t
+                )
+            prev_items, prev_t = items, now
+        frame = _top_panels(stats, snapshot, remote, rates)
+        if not frame and errors:
+            for error in errors:
+                print(f"error: {error}", file=sys.stderr)
+            return 2
+        if not args.once:
+            sys.stdout.write("\x1b[2J\x1b[H")  # clear + home
+        print(f"repro top — {time.strftime('%H:%M:%S')}")
+        for line in frame:
+            print(f"  {line}")
+        for error in errors:
+            print(f"  [unreachable] {error}")
+        sys.stdout.flush()
+        if args.once:
+            return 0
+        try:
+            time.sleep(max(args.interval, 0.1))
+        except KeyboardInterrupt:
+            return 0
+
+
 def build_report_parser() -> argparse.ArgumentParser:
     """Parser of the ``report`` run-telemetry subcommand."""
     parser = argparse.ArgumentParser(
@@ -548,6 +772,42 @@ def build_report_parser() -> argparse.ArgumentParser:
             "(default 0.05; timer jitter)"
         ),
     )
+    trace = sub.add_parser(
+        "trace",
+        help=(
+            "stitch run directories and cache-server trace logs into "
+            "one cross-process Perfetto timeline"
+        ),
+    )
+    trace.add_argument(
+        "run_dirs",
+        nargs="+",
+        help="run directories (manifest + run.jsonl) to include",
+    )
+    trace.add_argument(
+        "--trace-log",
+        action="append",
+        default=[],
+        help=(
+            "cache-server request trace log (written by 'repro cache "
+            "serve --trace-log'); repeatable"
+        ),
+    )
+    trace.add_argument(
+        "--trace-id",
+        default=None,
+        help=(
+            "only include spans of this fleet trace id (default: the "
+            "first trace id found in the run logs; spans without an id "
+            "are always kept)"
+        ),
+    )
+    trace.add_argument(
+        "-o",
+        "--out",
+        default="fleet-trace.json",
+        help="output Chrome trace file (default: fleet-trace.json)",
+    )
     return parser
 
 
@@ -563,6 +823,8 @@ def _report_main(argv) -> int:
             for line in summarize(args.run_dir).lines():
                 print(line)
             return 0
+        if args.action == "trace":
+            return _report_trace(args)
         result = diff_runs(
             args.run_a,
             args.run_b,
@@ -583,6 +845,56 @@ def _report_main(argv) -> int:
     for line in result.lines():
         print(line)
     return 0 if result.ok else 1
+
+
+def _report_trace(args) -> int:
+    """Stitch runs + cache trace logs into one Perfetto timeline."""
+    import json
+    from pathlib import Path
+
+    from repro.telemetry.perfetto import spans_from_log_events, stitch_trace
+    from repro.telemetry.runlog import read_run
+
+    trace_id = args.trace_id
+    run_events = []
+    for run_dir in args.run_dirs:
+        events = read_run(run_dir).events
+        if trace_id is None:
+            trace_id = next(
+                (
+                    event["attrs"]["trace_id"]
+                    for event in events
+                    if event.get("type") == "span"
+                    and event.get("attrs", {}).get("trace_id")
+                ),
+                None,
+            )
+        run_events.append((run_dir, events))
+    groups = []
+    process_names = {}
+    for run_dir, events in run_events:
+        spans = spans_from_log_events(events, trace_id)
+        for rec in spans:
+            process_names.setdefault(rec.pid, f"engine {Path(run_dir).name}")
+        groups.append(spans)
+    for log in args.trace_log:
+        lines = Path(log).read_text().splitlines()
+        events = [json.loads(line) for line in lines if line.strip()]
+        spans = spans_from_log_events(events, trace_id)
+        for rec in spans:
+            process_names[rec.pid] = str(rec.attrs.get("proc", "cache-server"))
+        groups.append(spans)
+    n_spans = sum(len(group) for group in groups)
+    if not n_spans:
+        print("error: no spans matched (wrong --trace-id?)", file=sys.stderr)
+        return 2
+    out = stitch_trace(args.out, groups, process_names)
+    print(
+        f"stitched {n_spans} spans from {len(groups)} sources"
+        + (f" (trace id {trace_id})" if trace_id else "")
+        + f" -> {out}"
+    )
+    return 0
 
 
 def _progress_printer(name: str):
@@ -613,6 +925,7 @@ def _run_one(name: str, args, run_dir=None, trace_out=None) -> None:
         schedule=getattr(args, "schedule", "stealing"),
         run_dir=run_dir,
         trace_out=trace_out,
+        trace_id=getattr(args, "trace_id", None),
     )
     result = registry.run(name, config)
     print(spec.title)
@@ -676,6 +989,8 @@ def main(argv=None) -> int:
         return _cache_main(argv[1:])
     if argv and argv[0] == "report":
         return _report_main(argv[1:])
+    if argv and argv[0] == "top":
+        return _top_main(argv[1:])
     if argv and argv[0] in (
         "serve", "submit", "status", "watch", "cancel", "jobs", "ping",
         "shutdown",

@@ -107,6 +107,14 @@ class ExperimentConfig:
     trace_out:
         When set, :func:`run` exports the run's span tree as a Chrome
         trace-event file loadable in Perfetto / ``chrome://tracing``.
+    trace_id:
+        Fleet trace correlation id.  ``None`` reads ``REPRO_TRACE_ID``;
+        when set, the whole run executes inside a
+        :func:`~repro.telemetry.tracing.trace_scope` — the id is
+        stamped on the run span and rides the ``X-Repro-Trace`` header
+        of every remote-cache request, so ``repro report trace`` can
+        stitch one cross-process timeline.  Never part of the run's
+        identity hash.
     """
 
     scale: str = "paper"
@@ -122,6 +130,7 @@ class ExperimentConfig:
     options: Dict[str, Any] = field(default_factory=dict)
     run_dir: Optional[str] = None
     trace_out: Optional[str] = None
+    trace_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.scale not in SCALES:
@@ -134,6 +143,8 @@ class ExperimentConfig:
             self.cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
         if self.remote_cache is None:
             self.remote_cache = os.environ.get("REPRO_REMOTE_CACHE") or None
+        if self.trace_id is None:
+            self.trace_id = os.environ.get("REPRO_TRACE_ID") or None
 
     def make_engine(self) -> Engine:
         """An engine matching this configuration."""
@@ -275,16 +286,35 @@ def run(
     are written there afterwards; with ``config.trace_out`` set, the
     span tree is exported as a Chrome/Perfetto trace.
     """
+    from repro.telemetry.metrics import diff_snapshots, get_registry
+    from repro.telemetry.tracing import trace_scope
+
     spec = get(name)
     config = config or ExperimentConfig()
     engine = engine or config.make_engine()
     cache_before = dict(engine.cache_totals)
+    live = get_registry()
+    live_before = live.snapshot()
+    live_before_det = live.snapshot(deterministic_only=True)
+    span_attrs: Dict[str, Any] = dict(
+        experiment=name, scale=config.scale, seed=config.seed
+    )
+    if config.trace_id:
+        span_attrs["trace_id"] = config.trace_id
     t0 = time.perf_counter()
-    with engine.telemetry.span(
-        f"run.{name}", experiment=name, scale=config.scale, seed=config.seed
-    ) as run_span:
-        payload = spec.runner(config, engine)
+    with trace_scope(config.trace_id):
+        with engine.telemetry.span(f"run.{name}", **span_attrs) as run_span:
+            payload = spec.runner(config, engine)
     seconds = time.perf_counter() - t0
+    # The run's own registry activity, split into the deterministic
+    # delta (bit-identical across worker counts — golden-comparable)
+    # and the full delta (timing histograms included).
+    metrics_delta = {
+        "snapshot": diff_snapshots(
+            live_before_det, live.snapshot(deterministic_only=True)
+        ),
+        "full": diff_snapshots(live_before, live.snapshot()),
+    }
     metadata = {
         "scale": config.scale,
         "seed": config.seed,
@@ -312,7 +342,7 @@ def run(
         seconds=seconds,
     )
     if config.run_dir or config.trace_out:
-        _persist_run(name, config, engine, run_span, result, cache)
+        _persist_run(name, config, engine, run_span, result, cache, metrics_delta)
     return result
 
 
@@ -339,6 +369,7 @@ def _persist_run(
     run_span,
     result: ExperimentResult,
     cache: Optional[Dict[str, Any]],
+    metrics_delta: Optional[Dict[str, Any]] = None,
 ) -> None:
     """Write the run directory (manifest + JSONL log) and/or trace."""
     from repro.telemetry import (
@@ -370,6 +401,7 @@ def _persist_run(
             cache=dict(enabled=True, **cache) if cache else None,
             wall_seconds=result.seconds,
             n_items=n_items,
+            metrics_snapshot=metrics_delta,
         )
         result.metadata["run_dir"] = str(config.run_dir)
     trace_out = config.trace_out

@@ -50,7 +50,13 @@ from repro.runtime.scheduler import (
     classify_tasks,
     dispatch,
     flatten_keys,
+    static_groups,
     validate_schedule,
+)
+from repro.telemetry.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    get_registry,
 )
 from repro.telemetry.spans import SpanRecord, Telemetry
 from repro.runtime.sharding import (
@@ -933,6 +939,56 @@ class Engine:
         # into cache_totals (publishing happens only in this process —
         # worker views have it off — so the delta is exact).
         self._pub_mark: Dict[str, int] = {}
+        # Live metrics (process-wide registry).  The deterministic ones
+        # (items, shards, shard-size histogram, cache lookups/bytes)
+        # are functions of workload + seed alone; scheduler behaviour
+        # (steals, queue depth, shard wall time, tier split) is not.
+        registry = get_registry()
+        self._metric_items = registry.counter(
+            "repro_engine_items_total",
+            "Traces/readouts produced, by campaign kind.",
+            labelnames=("kind",), deterministic=True,
+        )
+        self._metric_shards = registry.counter(
+            "repro_engine_shards_total",
+            "Shards completed, by campaign kind.",
+            labelnames=("kind",), deterministic=True,
+        )
+        self._metric_shard_items = registry.histogram(
+            "repro_engine_shard_items",
+            "Items per completed shard.",
+            deterministic=True, buckets=COUNT_BUCKETS,
+        )
+        self._metric_shard_seconds = registry.histogram(
+            "repro_engine_shard_seconds",
+            "Wall time per completed shard.",
+            buckets=LATENCY_BUCKETS,
+        )
+        self._metric_queue_depth = registry.gauge(
+            "repro_engine_queue_depth",
+            "Shards of the running campaign not yet completed.",
+        )
+        self._metric_steals = registry.counter(
+            "repro_engine_steals_total",
+            "Shards that ran outside their static-partition run "
+            "(work actually stolen vs the baseline assignment).",
+        )
+        self._metric_cache_lookups = registry.counter(
+            "repro_cache_lookups_total",
+            "Shard cache lookups by outcome (hit counts any warm tier).",
+            labelnames=("outcome",), deterministic=True,
+        )
+        self._metric_cache_bytes = registry.counter(
+            "repro_cache_bytes_total",
+            "Block-cache payload traffic by direction.",
+            labelnames=("direction",), deterministic=True,
+        )
+        self._metric_tier = registry.counter(
+            "repro_cache_tier_total",
+            "Tiered-store counter deltas (hit/miss/wire/publish/"
+            "prefetch per tier) — timing-dependent, not deterministic.",
+            labelnames=("counter",),
+        )
 
     # ------------------------------------------------------------------
     def cache_hit_rate(self) -> float:
@@ -1005,14 +1061,82 @@ class Engine:
         self.cache_totals["remote_bytes_read"] += metrics.cache_remote_bytes_read
         for name, value in prefetch_snap.items():
             self.cache_totals[name] += value
+        pub_delta: Dict[str, int] = {}
         if self.cache is not None:
             self.cache.flush()
             pub = self._publish_counters()
-            for name, value in pub.items():
-                self.cache_totals[name] += value - self._pub_mark.get(name, 0)
+            pub_delta = {
+                name: value - self._pub_mark.get(name, 0)
+                for name, value in pub.items()
+            }
+            for name, value in pub_delta.items():
+                self.cache_totals[name] += value
             self._pub_mark = pub
+        self._record_campaign_metrics(metrics, prefetch_snap, pub_delta)
         self.last_metrics = metrics
         return metrics
+
+    def _record_campaign_metrics(
+        self,
+        metrics: EngineMetrics,
+        prefetch_snap: Dict[str, int],
+        pub_delta: Dict[str, int],
+    ) -> None:
+        """Mirror one campaign's totals onto the live registry."""
+        self._metric_items.inc(metrics.n_items, kind=metrics.kind)
+        self._metric_shards.inc(metrics.n_shards, kind=metrics.kind)
+        for sm in metrics.shards:
+            self._metric_shard_items.observe(sm.n_items)
+            self._metric_shard_seconds.observe(sm.seconds)
+        steals = self._count_steals(metrics)
+        if steals:
+            self._metric_steals.inc(steals)
+        if self.cache is None:
+            return
+        # Deterministic view: a hit from any warm tier is a hit (the
+        # local/remote split depends on prefetch timing, the union does
+        # not).
+        self._metric_cache_lookups.inc(
+            metrics.cache_hits + metrics.cache_remote_hits, outcome="hit"
+        )
+        self._metric_cache_lookups.inc(metrics.cache_misses, outcome="miss")
+        self._metric_cache_lookups.inc(metrics.cache_partial, outcome="partial")
+        self._metric_cache_lookups.inc(metrics.cache_sub_hits, outcome="sub_hit")
+        self._metric_cache_lookups.inc(
+            metrics.cache_sub_misses, outcome="sub_miss"
+        )
+        self._metric_cache_bytes.inc(
+            metrics.cache_bytes_read, direction="read"
+        )
+        self._metric_cache_bytes.inc(
+            metrics.cache_bytes_written, direction="written"
+        )
+        tier_deltas = {
+            "local_hits": metrics.cache_hits,
+            "remote_hits": metrics.cache_remote_hits,
+            "remote_misses": metrics.cache_remote_misses,
+            "remote_bytes_read": metrics.cache_remote_bytes_read,
+            "expired": metrics.cache_expired,
+            **prefetch_snap,
+            **pub_delta,
+        }
+        for name, value in tier_deltas.items():
+            if value:
+                self._metric_tier.inc(value, counter=name)
+
+    def _count_steals(self, metrics: EngineMetrics) -> int:
+        """Shards whose worker differs from the previous shard of the
+        static run they would have belonged to — i.e. work the shared
+        queue actually moved relative to the baseline partition."""
+        if self.schedule != "stealing" or metrics.workers <= 1:
+            return 0
+        pids = [sm.span.pid if sm.span is not None else 0 for sm in metrics.shards]
+        steals = 0
+        for group in static_groups(len(pids), metrics.workers):
+            for a, b in zip(group, group[1:]):
+                if pids[a] != pids[b]:
+                    steals += 1
+        return steals
 
     def _publish_counters(self) -> Dict[str, int]:
         """Current publish-side counters of the parent store (the
@@ -1151,8 +1275,10 @@ class Engine:
                 metrics.shards.append(sm)
                 self._publish_after(task, sm)
                 done += task.shard.size
+                self._metric_queue_depth.set(len(tasks) - len(metrics.shards))
                 self._emit(kind, done, n_items, sm)
         finally:
+            self._metric_queue_depth.set(0)
             if prefetcher is not None:
                 prefetcher.stop()
         return self._finish_metrics(metrics, t0, start, prefetcher=prefetcher)

@@ -74,6 +74,15 @@ class ServiceClient:
     def ping(self) -> Dict[str, Any]:
         return self._checked(self._request({"op": "ping"}))["stats"]
 
+    def metrics(self) -> Dict[str, Any]:
+        """The service process's metrics registry: ``{"metrics":
+        <snapshot dict>, "prometheus": <exposition text>}``."""
+        response = self._checked(self._request({"op": "metrics"}))
+        return {
+            "metrics": response["metrics"],
+            "prometheus": response["prometheus"],
+        }
+
     def submit(
         self,
         tenant: str,

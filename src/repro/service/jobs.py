@@ -137,6 +137,9 @@ class Job:
     events: List[JobEvent] = field(default_factory=list)
     #: Checkpoint payloads only, in stream order (the rank curve).
     checkpoints: List[Dict[str, Any]] = field(default_factory=list)
+    #: Fleet trace correlation id stamped at admission; propagated into
+    #: the campaign's engine spans and remote-cache requests.
+    trace_id: Optional[str] = None
     #: Primary job id when this submission was coalesced, else ``None``.
     coalesced_into: Optional[str] = None
     #: Follower jobs coalesced into this one (primary side).
@@ -173,6 +176,7 @@ class Job:
             "finished_at": self.finished_at,
             "error": self.error,
             "n_checkpoints": len(self.checkpoints),
+            "trace_id": self.trace_id,
             "coalesced_into": self.coalesced_into,
             "result": self.result,
         }

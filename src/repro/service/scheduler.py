@@ -193,5 +193,13 @@ class CacheAwareScheduler:
     def pending_count(self) -> int:
         return sum(len(q) for q in self._pending.values())
 
+    def queued_by_tenant(self) -> Dict[str, int]:
+        """Queued primary jobs per tenant (the fairness ring's view)."""
+        return {
+            tenant: len(queue)
+            for tenant, queue in self._pending.items()
+            if queue
+        }
+
     def warm_footprints(self) -> Set[str]:
         return set(self._warm)

@@ -14,6 +14,8 @@ Response: one ``{"ok": true/false, ...}`` line; streaming ops emit
 ``{"event": {...}}`` lines before the final response.  Ops:
 
 ``ping``      liveness + service stats
+``metrics``   the process-wide metrics registry (snapshot + Prometheus
+              text)
 ``submit``    admit a job (optionally stream it with ``"watch": true``)
 ``status``    one job snapshot (``{"id": ...}``)
 ``jobs``      all job snapshots
@@ -109,6 +111,18 @@ class ServiceServer:
             if op == "ping":
                 await self._send(
                     writer, {"ok": True, "stats": self.service.stats()}
+                )
+            elif op == "metrics":
+                from repro.telemetry.metrics import get_registry
+
+                registry = get_registry()
+                await self._send(
+                    writer,
+                    {
+                        "ok": True,
+                        "metrics": registry.snapshot(),
+                        "prometheus": registry.render_prometheus(),
+                    },
                 )
             elif op == "submit":
                 await self._op_submit(request, writer)

@@ -53,6 +53,8 @@ from repro.service.jobs import (
 )
 from repro.service.quota import QuotaLedger, TenantQuota
 from repro.service.scheduler import CacheAwareScheduler
+from repro.telemetry.metrics import LATENCY_BUCKETS, get_registry
+from repro.telemetry.tracing import new_trace_id
 
 __all__ = ["CampaignService"]
 
@@ -116,6 +118,31 @@ class CampaignService:
         self._wake: Optional[asyncio.Event] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._running = False
+        registry = get_registry()
+        self._metric_jobs = registry.counter(
+            "repro_service_jobs_total",
+            "Jobs by terminal state.",
+            labelnames=("state",),
+        )
+        self._metric_queue_wait = registry.histogram(
+            "repro_service_queue_wait_seconds",
+            "Time jobs spent queued before a worker picked them up.",
+            buckets=LATENCY_BUCKETS,
+        )
+        self._metric_run_seconds = registry.histogram(
+            "repro_service_run_seconds",
+            "Campaign wall time, dispatch to terminal state.",
+            buckets=LATENCY_BUCKETS,
+        )
+        self._metric_quota_rejections = registry.counter(
+            "repro_service_quota_rejections_total",
+            "Submissions refused at admission.",
+            labelnames=("tenant",),
+        )
+        self._metric_coalesced = registry.counter(
+            "repro_service_coalesced_total",
+            "Submissions that attached to an identical in-flight run.",
+        )
 
     # -- lifecycle -----------------------------------------------------
     async def start(self) -> None:
@@ -196,15 +223,25 @@ class CampaignService:
             chunk_size=chunk_size,
             options=dict(options or {}),
         )
+        job_id = f"job-{next(self._ids):06d}"
         job = Job(
-            id=f"job-{next(self._ids):06d}",
+            id=job_id,
             request=request,
             key=request.job_key(),
             footprint=request.cache_footprint(),
             submitted_at=self._clock(),
+            trace_id=new_trace_id(job_id),
             on_event=on_event,
         )
-        primary = self.scheduler.submit(job)  # raises QuotaExceededError
+        try:
+            primary = self.scheduler.submit(job)  # raises QuotaExceededError
+        except Exception:
+            self._metric_quota_rejections.inc(tenant=tenant)
+            raise
+        if primary is not None:
+            # A coalesced follower rides the primary's run — one trace.
+            job.trace_id = primary.trace_id
+            self._metric_coalesced.inc()
         self._jobs[job.id] = job
         self._changed[job.id] = asyncio.Event()
         self._publish(
@@ -244,6 +281,7 @@ class CampaignService:
         return {
             "jobs": by_state,
             "pending": self.scheduler.pending_count(),
+            "queued_by_tenant": self.scheduler.queued_by_tenant(),
             "active_by_tenant": self.ledger.as_dict(),
             "warm_footprints": len(self.scheduler.warm_footprints()),
         }
@@ -344,9 +382,13 @@ class CampaignService:
         job.state = state
         if state is JobState.RUNNING:
             job.started_at = now
+            self._metric_queue_wait.observe(max(0.0, now - job.submitted_at))
         if state in TERMINAL_STATES:
             job.finished_at = now
             job.error = error
+            self._metric_jobs.inc(state=state.value)
+            if job.started_at is not None:
+                self._metric_run_seconds.observe(max(0.0, now - job.started_at))
         self._publish(
             job,
             JobEvent(
@@ -441,6 +483,7 @@ class CampaignService:
             cache_max_bytes=self.cache_max_bytes,
             remote_cache=self.remote_cache,
             run_dir=run_dir,
+            trace_id=job.trace_id,
         )
         result = registry.run(request.experiment, config)
         payload: Dict[str, Any] = {

@@ -9,8 +9,13 @@ One subsystem records what every run did and what it cost:
   (config hash, seed lineage, versions, host, git SHA);
 * :mod:`~repro.telemetry.runlog` — the JSONL run log written next to
   results;
+* :mod:`~repro.telemetry.metrics` — the process-wide live metrics
+  registry (deterministic counters/gauges/histograms, Prometheus text
+  exposition, mergeable snapshots);
+* :mod:`~repro.telemetry.tracing` — cross-process trace-id propagation
+  (``X-Repro-Trace``);
 * :mod:`~repro.telemetry.perfetto` — Chrome trace-event export for
-  Perfetto / chrome://tracing;
+  Perfetto / chrome://tracing, plus cross-process trace stitching;
 * :mod:`~repro.telemetry.report` — run summaries and threshold-based
   two-run regression diffs (``repro report``).
 
@@ -39,8 +44,22 @@ _LAZY = {
     "RUN_SCHEMA_VERSION": "manifest",
     "build_manifest": "manifest",
     "manifest_hash": "manifest",
+    "METRICS_SCHEMA_VERSION": "metrics",
+    "MetricsRegistry": "metrics",
+    "get_registry": "metrics",
+    "exponential_buckets": "metrics",
+    "merge_snapshots": "metrics",
+    "diff_snapshots": "metrics",
+    "histogram_quantile": "metrics",
+    "parse_prometheus": "metrics",
+    "TRACE_HEADER": "tracing",
+    "current_trace_id": "tracing",
+    "new_trace_id": "tracing",
+    "trace_scope": "tracing",
     "chrome_trace_events": "perfetto",
     "write_chrome_trace": "perfetto",
+    "spans_from_log_events": "perfetto",
+    "stitch_trace": "perfetto",
     "DiffReport": "report",
     "RunSummary": "report",
     "Verdict": "report",
@@ -74,9 +93,23 @@ def __dir__():
 
 __all__ = [
     "RUN_SCHEMA_VERSION",
+    "METRICS_SCHEMA_VERSION",
     "MANIFEST_FILE",
     "RUN_LOG_FILE",
     "TRACE_FILE",
+    "TRACE_HEADER",
+    "MetricsRegistry",
+    "get_registry",
+    "exponential_buckets",
+    "merge_snapshots",
+    "diff_snapshots",
+    "histogram_quantile",
+    "parse_prometheus",
+    "current_trace_id",
+    "new_trace_id",
+    "trace_scope",
+    "spans_from_log_events",
+    "stitch_trace",
     "SpanRecord",
     "Telemetry",
     "RunRecord",

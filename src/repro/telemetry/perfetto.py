@@ -15,19 +15,35 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.telemetry.spans import SpanRecord, walk_spans
 
-__all__ = ["chrome_trace_events", "write_chrome_trace"]
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "spans_from_log_events",
+    "stitch_trace",
+]
 
 
-def chrome_trace_events(roots: Sequence[SpanRecord]) -> List[Dict]:
-    """The ``traceEvents`` list for a span forest."""
+def chrome_trace_events(
+    roots: Sequence[SpanRecord],
+    origin: Optional[float] = None,
+    process_names: Optional[Dict[int, str]] = None,
+) -> List[Dict]:
+    """The ``traceEvents`` list for a span forest.
+
+    ``origin`` overrides the re-basing epoch (stitching several exports
+    needs one shared origin); ``process_names`` labels pids in the
+    Perfetto track header (e.g. ``{123: "cache-server"}``).
+    """
     spans = list(walk_spans(list(roots)))
     if not spans:
         return []
-    origin = min(rec.start for _p, _d, rec in spans)
+    if origin is None:
+        origin = min(rec.start for _p, _d, rec in spans)
+    names = process_names or {}
     events: List[Dict] = []
     for pid in sorted({rec.pid for _p, _d, rec in spans}):
         events.append(
@@ -36,7 +52,7 @@ def chrome_trace_events(roots: Sequence[SpanRecord]) -> List[Dict]:
                 "name": "process_name",
                 "pid": pid,
                 "tid": pid,
-                "args": {"name": f"repro pid {pid}"},
+                "args": {"name": names.get(pid, f"repro pid {pid}")},
             }
         )
     for path, depth, rec in spans:
@@ -69,4 +85,81 @@ def write_chrome_trace(
         "displayTimeUnit": "ms",
     }
     path.write_text(json.dumps(payload, default=str))
+    return path
+
+
+# ----------------------------------------------------------------------
+# Cross-process stitching (``repro report trace``).
+# ----------------------------------------------------------------------
+def spans_from_log_events(
+    events: Sequence[Dict],
+    trace_id: Optional[str] = None,
+) -> List[SpanRecord]:
+    """Rebuild flat :class:`SpanRecord`\\ s from run-log ``span`` events.
+
+    Works on ``run.jsonl`` lines and on the cache server's request
+    trace log (both use the same span event dict shape).  The records
+    come back childless — absolute ``start`` plus ``pid`` is all the
+    complete-event export needs, and nesting falls out of the
+    timestamps.  With ``trace_id`` set, spans whose attrs carry a
+    *different* id are dropped (spans with no id at all are kept: the
+    per-run files are already scoped to one job).
+    """
+    records: List[SpanRecord] = []
+    for event in events:
+        if event.get("type") not in (None, "span"):
+            continue
+        if "name" not in event or "start" not in event:
+            continue
+        attrs = dict(event.get("attrs", {}))
+        if trace_id is not None:
+            found = attrs.get("trace_id")
+            if found is not None and found != trace_id:
+                continue
+        rec = SpanRecord(
+            name=str(event["name"]),
+            start=float(event["start"]),
+            seconds=float(event.get("seconds", 0.0)),
+            attrs=attrs,
+            counters=dict(event.get("counters", {})),
+        )
+        rec.pid = int(event.get("pid", rec.pid))
+        records.append(rec)
+    return records
+
+
+def stitch_trace(
+    path: Union[str, Path],
+    groups: Sequence[Sequence[SpanRecord]],
+    process_names: Optional[Dict[int, str]] = None,
+) -> Path:
+    """Merge several processes' span sets into one Chrome trace.
+
+    Every group is exported against one shared origin (the earliest
+    span anywhere), so the service, engine-worker and cache-server
+    tracks line up on a single timeline.
+    """
+    starts = [
+        rec.start
+        for group in groups
+        for _p, _d, rec in walk_spans(list(group))
+    ]
+    origin = min(starts) if starts else 0.0
+    events: List[Dict] = []
+    seen_meta: set = set()
+    for group in groups:
+        for event in chrome_trace_events(
+            group, origin=origin, process_names=process_names
+        ):
+            if event.get("ph") == "M":
+                key = (event["pid"], event["name"])
+                if key in seen_meta:
+                    continue
+                seen_meta.add(key)
+            events.append(event)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}, default=str)
+    )
     return path

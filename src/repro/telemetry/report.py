@@ -25,9 +25,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from repro.telemetry.metrics import histogram_quantile
 from repro.telemetry.runlog import RunRecord, read_run
 
 __all__ = ["RunSummary", "Verdict", "DiffReport", "summarize", "diff_runs"]
+
+#: Quantiles reported and diffed from run-log latency histograms.
+QUANTILES = (("p50", 0.5), ("p95", 0.95), ("p99", 0.99))
 
 #: Default relative slowdown that counts as a regression (20%).
 DEFAULT_THRESHOLD = 0.2
@@ -61,6 +65,16 @@ class RunSummary:
     stage_seconds: Dict[str, float]
     cache: Dict[str, Any]
     n_checkpoints: int = 0
+    #: Live-registry histogram deltas from the run's
+    #: ``metrics_snapshot`` event (series -> snapshot histogram dict).
+    histograms: Dict[str, Any] = field(default_factory=dict)
+
+    def quantiles(self, series: str) -> Dict[str, float]:
+        """p50/p95/p99 of one recorded histogram series."""
+        hist = self.histograms[series]
+        return {
+            label: histogram_quantile(hist, q) for label, q in QUANTILES
+        }
 
     def lines(self) -> List[str]:
         """Human-readable report block."""
@@ -92,10 +106,25 @@ class RunSummary:
             )
         if self.n_checkpoints:
             out.append(f"  checkpoints: {self.n_checkpoints}")
+        for series in sorted(self.histograms):
+            if _is_latency_series(series) and self.histograms[series].get("count"):
+                quantiles = self.quantiles(series)
+                out.append(
+                    f"  latency {series}: "
+                    + " ".join(
+                        f"{label}={value * 1e3:.2f}ms"
+                        for label, value in quantiles.items()
+                    )
+                )
         for name, value in self.metrics.items():
             out.append(f"  metric {name} = {value}")
         out.append(f"  result digest {self.result_digest[:16]}…")
         return out
+
+
+def _is_latency_series(series: str) -> bool:
+    """Whether a histogram series records seconds (vs bytes/counts)."""
+    return series.partition("{")[0].endswith("_seconds")
 
 
 def summarize(run: Union[str, Path, RunRecord]) -> RunSummary:
@@ -105,6 +134,12 @@ def summarize(run: Union[str, Path, RunRecord]) -> RunSummary:
     end = record.one("run_end")
     metrics_event = record.one("metrics")
     cache = record.one("cache")
+    snapshots = record.of_type("metrics_snapshot")
+    histograms = (
+        dict(snapshots[0].get("full", {}).get("histograms", {}))
+        if snapshots
+        else {}
+    )
     stage_seconds: Dict[str, float] = {}
     for event in record.spans:
         if event.get("leaf"):
@@ -126,6 +161,7 @@ def summarize(run: Union[str, Path, RunRecord]) -> RunSummary:
         stage_seconds=stage_seconds,
         cache={k: v for k, v in cache.items() if k not in ("type", "schema")},
         n_checkpoints=len(record.of_type("checkpoint")),
+        histograms=histograms,
     )
 
 
@@ -267,7 +303,26 @@ def diff_runs(
             Verdict(kind, "cache_hit_rate", f"{hr_a:.2%}", f"{hr_b:.2%}")
         )
 
-    # 5. Peak RSS (floored: allocator noise is not a regression).
+    # 5. Latency-histogram quantiles (metrics_snapshot events): the
+    # tail, not just the mean.  Only series both runs recorded compare
+    # meaningfully; the min_seconds floor keeps microsecond-scale
+    # quantiles from tripping the relative threshold on jitter.
+    for series in sorted(set(a.histograms) & set(b.histograms)):
+        if not _is_latency_series(series):
+            continue
+        ha, hb = a.histograms[series], b.histograms[series]
+        if not ha.get("count") or not hb.get("count"):
+            continue
+        for label, q in QUANTILES:
+            qa = histogram_quantile(ha, q)
+            qb = histogram_quantile(hb, q)
+            if max(qa, qb) < min_seconds:
+                continue
+            report.verdicts.append(
+                _ratio_verdict(f"{label}:{series}", qa, qb, threshold)
+            )
+
+    # 6. Peak RSS (floored: allocator noise is not a regression).
     if a.peak_rss_kb and b.peak_rss_kb:
         grew = b.peak_rss_kb - a.peak_rss_kb
         ratio = b.peak_rss_kb / a.peak_rss_kb
@@ -283,7 +338,7 @@ def diff_runs(
                     f"{(ratio - 1) * 100:+.1f}%")
         )
 
-    # 6. Per-metric deltas (key-rank-at-N etc.) — informational; the
+    # 7. Per-metric deltas (key-rank-at-N etc.) — informational; the
     # digest verdict above is what enforces equality.
     for name in sorted(set(a.metrics) | set(b.metrics)):
         va, vb = a.metrics.get(name), b.metrics.get(name)

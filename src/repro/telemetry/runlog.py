@@ -25,6 +25,11 @@ RUN_SCHEMA_VERSION`) — every line carries ``type`` and ``schema``:
     The experiment's flat summary metrics plus ``result_digest`` — the
     canonical hash of those metrics, bit-identical across runs exactly
     when the scientific output is.
+``metrics_snapshot``
+    The run's live-registry delta (:mod:`repro.telemetry.metrics`):
+    ``snapshot`` holds the deterministic series only (bit-identical
+    across worker counts for a fixed seed), ``full`` adds the timing
+    histograms and wall-clock-dependent counters.
 ``cache``
     Block-cache totals for the run (``enabled``, ``hits``, ``misses``,
     ``hit_rate``, ``bytes_read``, ``bytes_written``).
@@ -132,6 +137,7 @@ def write_run_log(
     wall_seconds: float = 0.0,
     n_items: int = 0,
     status: str = "ok",
+    metrics_snapshot: Optional[Mapping[str, Any]] = None,
 ) -> Path:
     """Write ``manifest.json`` + ``run.jsonl`` into ``run_dir``.
 
@@ -166,6 +172,15 @@ def write_run_log(
             "result_digest": result_digest(metrics),
         }
     )
+    if metrics_snapshot is not None:
+        events.append(
+            {
+                "type": "metrics_snapshot",
+                "schema": RUN_SCHEMA_VERSION,
+                "snapshot": dict(metrics_snapshot.get("snapshot") or {}),
+                "full": dict(metrics_snapshot.get("full") or {}),
+            }
+        )
     events.append(
         {
             "type": "cache",

@@ -1,0 +1,71 @@
+"""Cross-process trace correlation.
+
+A *trace id* names one logical job end to end: the service stamps it at
+submission, :func:`repro.experiments.registry.run` scopes it around the
+run (root span attr + process environment), engine worker processes
+inherit it through the environment, and every
+:class:`~repro.traces.store_backends.http.HTTPBackend` request carries
+it as an ``X-Repro-Trace`` header so the cache server can log its
+request spans under the same key.  ``repro report trace`` then stitches
+the per-process Perfetto exports back into one timeline.
+
+The id lives in ``os.environ[REPRO_TRACE_ENV]`` rather than a module
+global precisely because engine workers are separate *processes*: the
+environment is the one channel that crosses both ``fork`` and ``spawn``
+pool starts (the pool is created while the scope is active) and that
+background threads (prefetcher, write-behind publisher) observe without
+plumbing.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = [
+    "TRACE_HEADER",
+    "REPRO_TRACE_ENV",
+    "current_trace_id",
+    "new_trace_id",
+    "trace_scope",
+]
+
+#: HTTP header carrying the trace id on cache-server requests.
+TRACE_HEADER = "X-Repro-Trace"
+#: Environment variable holding the active trace id.
+REPRO_TRACE_ENV = "REPRO_TRACE_ID"
+
+
+def current_trace_id() -> Optional[str]:
+    """The active trace id, or ``None`` outside any trace scope."""
+    return os.environ.get(REPRO_TRACE_ENV) or None
+
+
+def new_trace_id(hint: Optional[str] = None) -> str:
+    """A fresh trace id; ``hint`` (e.g. a job id) becomes its prefix."""
+    suffix = uuid.uuid4().hex[:12]
+    return f"{hint}-{suffix}" if hint else suffix
+
+
+@contextmanager
+def trace_scope(trace_id: Optional[str]) -> Iterator[Optional[str]]:
+    """Make ``trace_id`` the process's active trace for a block.
+
+    ``None`` is a no-op scope (direct CLI runs without ``--trace-id``
+    keep whatever the environment already says).  The previous value is
+    restored on exit, so nested scopes behave.
+    """
+    if not trace_id:
+        yield current_trace_id()
+        return
+    previous = os.environ.get(REPRO_TRACE_ENV)
+    os.environ[REPRO_TRACE_ENV] = trace_id
+    try:
+        yield trace_id
+    finally:
+        if previous is None:
+            os.environ.pop(REPRO_TRACE_ENV, None)
+        else:
+            os.environ[REPRO_TRACE_ENV] = previous

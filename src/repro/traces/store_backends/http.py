@@ -14,7 +14,12 @@ DELETE    ``/v1/blocks/<key>``       remove; 404 when absent
 POST      ``/v1/blocks/contains``    ``{"keys": [...]}`` → ``{"present": [...]}``
 GET       ``/v1/stats``              server store stats + request counters
 GET       ``/v1/ping``               liveness
+GET       ``/metrics``               Prometheus text exposition
 ========  =========================  ==========================================
+
+Every request carries an ``X-Repro-Trace`` header when a trace scope is
+active (:mod:`repro.telemetry.tracing`), and the client records request
+latency / retry / error metrics on the process-wide registry.
 
 Everything is stdlib ``http.client`` — no third-party dependency.  One
 keep-alive connection is held per thread (the tiered store's prefetch
@@ -32,13 +37,37 @@ import json
 import os
 import socket
 import threading
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 from urllib.parse import urlsplit
 
 from repro.errors import CacheError, RemoteCacheError
+from repro.telemetry.metrics import LATENCY_BUCKETS, get_registry
+from repro.telemetry.tracing import TRACE_HEADER, current_trace_id
 from repro.traces.store_backends.base import validate_key
 
 _BLOCKS = "/v1/blocks"
+
+
+def _client_metrics():
+    """Request-level client metrics on the process-wide registry."""
+    registry = get_registry()
+    return (
+        registry.histogram(
+            "repro_http_request_seconds",
+            "Remote-cache client request latency by method.",
+            labelnames=("method",),
+            buckets=LATENCY_BUCKETS,
+        ),
+        registry.counter(
+            "repro_http_retries_total",
+            "Remote-cache client transport retries.",
+        ),
+        registry.counter(
+            "repro_http_errors_total",
+            "Remote-cache client requests that exhausted their retries.",
+        ),
+    )
 
 #: Errors that mean "the wire failed", not "the server answered no" —
 #: retried with a fresh connection, then reported as RemoteCacheError.
@@ -128,8 +157,13 @@ class HTTPBackend:
         """One round trip; retries transport failures on a fresh
         connection (stale keep-alive sockets fail exactly this way)."""
         url = self._prefix + path
+        latency, retries, errors = _client_metrics()
+        trace_id = current_trace_id()
         last: Optional[Exception] = None
+        t0 = time.perf_counter()
         for attempt in range(self.retries + 1):
+            if attempt:
+                retries.inc()
             conn = getattr(self._local, "conn", None)
             if conn is not None and getattr(self._local, "pid", None) != os.getpid():
                 # Forked child: the keep-alive socket is shared with the
@@ -145,6 +179,8 @@ class HTTPBackend:
                 self._local.pid = os.getpid()
             try:
                 headers = {"Content-Length": str(len(body))} if body is not None else {}
+                if trace_id:
+                    headers[TRACE_HEADER] = trace_id
                 conn.request(method, url, body=body, headers=headers)
                 resp = conn.getresponse()
                 data = resp.read() if read_body else b""
@@ -152,12 +188,15 @@ class HTTPBackend:
                     # HEAD: nothing to drain, but the header block must
                     # be consumed before the connection is reused.
                     resp.read()
+                latency.observe(time.perf_counter() - t0, method=method)
                 return resp.status, data
             except _TRANSPORT_ERRORS as exc:
                 last = exc
                 self._close()
                 if attempt >= self.retries:
                     break
+        errors.inc()
+        latency.observe(time.perf_counter() - t0, method=method)
         raise RemoteCacheError(
             f"remote cache {self.base_url} unreachable "
             f"({method} {path}): {last}"

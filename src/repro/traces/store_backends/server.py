@@ -18,20 +18,61 @@ table), which buys the usual artifact-store properties for free:
 
 Serving is threaded (``ThreadingHTTPServer``): block reads are file
 reads, so concurrency is bounded by disk, not Python.
+
+Observability: every verb is timed into the process-wide metrics
+registry (per-verb latency histogram + in-flight gauge, scrapeable at
+``GET /metrics`` in Prometheus text format), and requests that carry an
+``X-Repro-Trace`` header are appended as span events to an optional
+request trace log, so ``repro report trace`` can stitch the server's
+side of a job into the submitting service's timeline.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
+import time
+from functools import wraps
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
+from repro.telemetry.metrics import LATENCY_BUCKETS, get_registry
+from repro.telemetry.tracing import TRACE_HEADER
 from repro.traces.blockstore import SCHEMA_VERSION, BlockStore, verify_blob
 from repro.traces.store_backends.base import _KEY_RE
 
 _BLOCKS_PREFIX = "/v1/blocks/"
+
+
+def _traced(verb: str):
+    """Time a handler verb, track in-flight, log trace-scoped spans."""
+
+    def decorate(fn):
+        @wraps(fn)
+        def wrapper(self: "_CacheRequestHandler"):
+            server = self.server
+            start = time.time()
+            t0 = time.perf_counter()
+            self._last_status = 0
+            server.metric_inflight.inc()
+            try:
+                fn(self)
+            finally:
+                seconds = time.perf_counter() - t0
+                server.metric_inflight.dec()
+                server.metric_latency.observe(seconds, verb=verb)
+                trace_id = self.headers.get(TRACE_HEADER)
+                if trace_id:
+                    server.log_trace_span(
+                        verb, self.path, start, seconds,
+                        self._last_status, trace_id,
+                    )
+
+        return wrapper
+
+    return decorate
 
 #: Refuse absurd uploads before reading them (a full fig5 block is a
 #: few MB; 1 GiB is far beyond any legitimate blob).
@@ -44,10 +85,17 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
 
     server: "CacheServer"  # set by ThreadingHTTPServer machinery
 
+    #: Status of the response in flight (for the request trace log).
+    _last_status = 0
+
     # ------------------------------------------------------------------
     def log_message(self, fmt, *args):  # noqa: D102 - quiet by default
         if self.server.verbose:  # pragma: no cover - debug aid
             super().log_message(fmt, *args)
+
+    def send_response(self, code, message=None):  # noqa: D102
+        self._last_status = int(code)
+        super().send_response(code, message)
 
     def _send(
         self,
@@ -81,12 +129,20 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
         return key
 
     # ------------------------------------------------------------------
+    @_traced("GET")
     def do_GET(self):  # noqa: N802 - http.server API
         if self.path == "/v1/ping":
             self._send_json(200, {"ok": True, "schema": SCHEMA_VERSION})
             return
         if self.path == "/v1/stats":
             self._send_json(200, self.server.stats_payload())
+            return
+        if self.path == "/metrics":
+            self._send(
+                200,
+                self.server.metrics_exposition().encode(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
             return
         if not self.path.startswith(_BLOCKS_PREFIX):
             self._send_json(404, {"error": "unknown route"})
@@ -102,6 +158,7 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
         self.server.count("gets", bytes_out=len(blob))
         self._send(200, blob)
 
+    @_traced("HEAD")
     def do_HEAD(self):  # noqa: N802
         if not self.path.startswith(_BLOCKS_PREFIX):
             self._send(404)
@@ -119,6 +176,7 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
             return
         self._send(200, content_length=size)
 
+    @_traced("PUT")
     def do_PUT(self):  # noqa: N802
         if not self.path.startswith(_BLOCKS_PREFIX):
             self._send_json(404, {"error": "unknown route"})
@@ -148,6 +206,7 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
         self.server.count("puts", bytes_in=len(blob))
         self._send_json(201, {"ok": True})
 
+    @_traced("DELETE")
     def do_DELETE(self):  # noqa: N802
         if not self.path.startswith(_BLOCKS_PREFIX):
             self._send_json(404, {"error": "unknown route"})
@@ -161,6 +220,7 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
         else:
             self._send_json(404, {"error": "unknown block"})
 
+    @_traced("POST")
     def do_POST(self):  # noqa: N802
         if self.path != _BLOCKS_PREFIX + "contains":
             self._send_json(404, {"error": "unknown route"})
@@ -198,6 +258,7 @@ class CacheServer(ThreadingHTTPServer):
         port: int = 8091,
         *,
         verbose: bool = False,
+        trace_log: Optional[Union[str, Path]] = None,
     ) -> None:
         self.store = BlockStore(root)
         self.verbose = verbose
@@ -212,6 +273,39 @@ class CacheServer(ThreadingHTTPServer):
         }
         self._counter_lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
+        # Request trace log: span events for X-Repro-Trace requests,
+        # appended as JSON lines (stitched by ``repro report trace``).
+        self.trace_log = Path(trace_log) if trace_log else None
+        self._trace_lock = threading.Lock()
+        registry = get_registry()
+        self.metric_latency = registry.histogram(
+            "repro_cache_server_request_seconds",
+            "Cache-server request latency by verb.",
+            labelnames=("verb",),
+            buckets=LATENCY_BUCKETS,
+        )
+        self.metric_inflight = registry.gauge(
+            "repro_cache_server_inflight",
+            "Cache-server requests currently being handled.",
+        )
+        self.metric_requests = registry.counter(
+            "repro_cache_server_requests_total",
+            "Cache-server request outcomes, mirroring /v1/stats counters.",
+            labelnames=("kind",),
+        )
+        self.metric_bytes = registry.counter(
+            "repro_cache_server_bytes_total",
+            "Cache-server payload bytes by direction.",
+            labelnames=("direction",),
+        )
+        self.metric_blocks = registry.gauge(
+            "repro_cache_server_blocks",
+            "Blocks resident in the served store.",
+        )
+        self.metric_stored_bytes = registry.gauge(
+            "repro_cache_server_stored_bytes",
+            "Bytes resident in the served store.",
+        )
         super().__init__((host, int(port)), _CacheRequestHandler)
 
     # ------------------------------------------------------------------
@@ -232,6 +326,58 @@ class CacheServer(ThreadingHTTPServer):
             self.counters[name] += 1
             self.counters["bytes_in"] += bytes_in
             self.counters["bytes_out"] += bytes_out
+        # Mirrored on the registry so a /metrics scrape and /v1/stats
+        # (hence ``repro cache stats --remote-cache``) can never drift.
+        self.metric_requests.inc(kind=name)
+        if bytes_in:
+            self.metric_bytes.inc(bytes_in, direction="in")
+        if bytes_out:
+            self.metric_bytes.inc(bytes_out, direction="out")
+
+    def metrics_exposition(self) -> str:
+        """The ``/metrics`` body: refresh store gauges, then render."""
+        stats = self.store.stats()
+        self.metric_blocks.set(stats.n_blocks)
+        self.metric_stored_bytes.set(stats.total_bytes)
+        return get_registry().render_prometheus()
+
+    def log_trace_span(
+        self,
+        verb: str,
+        path: str,
+        start: float,
+        seconds: float,
+        status: int,
+        trace_id: str,
+    ) -> None:
+        """Append one request span event to the trace log (if any)."""
+        if self.trace_log is None:
+            return
+        from repro.telemetry.manifest import RUN_SCHEMA_VERSION
+
+        name = f"cacheserver.{verb}"
+        event = {
+            "type": "span",
+            "schema": RUN_SCHEMA_VERSION,
+            "path": name,
+            "name": name,
+            "depth": 0,
+            "leaf": True,
+            "start": start,
+            "seconds": seconds,
+            "attrs": {
+                "trace_id": trace_id,
+                "proc": "cache-server",
+                "http_path": path,
+                "status": status,
+            },
+            "counters": {},
+            "pid": os.getpid(),
+        }
+        line = json.dumps(event, sort_keys=True) + "\n"
+        with self._trace_lock:
+            with self.trace_log.open("a") as fh:
+                fh.write(line)
 
     def stats_payload(self) -> Dict[str, object]:
         stats = self.store.stats()
@@ -277,6 +423,7 @@ def serve_cache(
     port: int = 8091,
     *,
     verbose: bool = False,
+    trace_log: Optional[Union[str, Path]] = None,
 ) -> CacheServer:
     """Bind a :class:`CacheServer` (without serving yet)."""
-    return CacheServer(root, host, port, verbose=verbose)
+    return CacheServer(root, host, port, verbose=verbose, trace_log=trace_log)

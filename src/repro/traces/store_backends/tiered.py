@@ -42,6 +42,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.errors import CacheError, CacheIntegrityWarning, RemoteCacheError
+from repro.telemetry.metrics import get_registry
 from repro.traces.blockstore import BlockStore, CachedBlock, verify_blob
 from repro.traces.store_backends.base import StoreBackend, contains_many
 from repro.traces.store_backends.http import HTTPBackend
@@ -71,6 +72,10 @@ class _WriteBehindPublisher:
         self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
         self._seen: set = set()
         self._lock = threading.Lock()
+        self._depth = get_registry().gauge(
+            "repro_cache_publish_queue_depth",
+            "Blocks waiting on the write-behind remote publisher.",
+        )
         self._thread = threading.Thread(
             target=self._run, name="repro-cache-publish", daemon=True
         )
@@ -86,6 +91,7 @@ class _WriteBehindPublisher:
                 self._seen.add(key)
                 self._queue.put(key)
                 queued += 1
+        self._depth.set(self._queue.unfinished_tasks)
         return queued
 
     def _run(self) -> None:
@@ -97,6 +103,7 @@ class _WriteBehindPublisher:
                 self._store._publish_one(key)
             finally:
                 self._queue.task_done()
+                self._depth.set(self._queue.unfinished_tasks)
 
     def flush(self, timeout: Optional[float] = None) -> bool:
         """Wait for the queue to drain; ``False`` on timeout."""
